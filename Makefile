@@ -1,0 +1,48 @@
+# Development entry points.  Everything is standard-library Go; no
+# external dependencies.
+
+GO ?= go
+
+.PHONY: all build test test-race bench fuzz vet fmt experiments-quick experiments-full report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing bursts over the wire format and puzzle validator.
+fuzz:
+	$(GO) test -run=xxx -fuzz FuzzDecodeStack -fuzztime 30s ./internal/wire
+	$(GO) test -run=xxx -fuzz FuzzDecodeNode -fuzztime 15s ./internal/wire
+	$(GO) test -run=xxx -fuzz FuzzFromTiles -fuzztime 15s ./internal/puzzle
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# The paper's evaluation at reduced scale (~2 min).
+experiments-quick:
+	$(GO) run ./cmd/experiments -scale quick -domain puzzle all
+
+# The paper's evaluation at its own scale: P = 8192, W up to ~16M (~40 min).
+experiments-full:
+	$(GO) run ./cmd/experiments -scale full -domain puzzle -csv results/csv all
+
+# Regenerate the markdown paper-vs-measured report at quick scale.
+report:
+	$(GO) run ./cmd/experiments -scale quick -domain puzzle report > docs/report_quick.md
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,245 @@
+// Benchmarks regenerating every table and figure of the paper at reduced
+// (tiny) scale, so `go test -bench=.` exercises the complete experiment
+// pipeline.  Full-scale reproductions run via `go run ./cmd/experiments
+// -scale full <experiment>`; see EXPERIMENTS.md for measured results.
+package simdtree
+
+import (
+	"io"
+	"testing"
+
+	"simdtree/internal/experiments"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/search"
+	"simdtree/internal/synthetic"
+)
+
+// tinySuite builds the reduced-scale synthetic suite shared by the table
+// benchmarks.
+func tinySuite() (*experiments.Suite[synthetic.Node], experiments.Scale) {
+	sc := experiments.TinyScale
+	return &experiments.Suite[synthetic.Node]{
+		Workloads: experiments.SyntheticWorkloads(sc.Tiers),
+		P:         sc.P,
+		Workers:   sc.Workers,
+		Out:       io.Discard,
+	}, sc
+}
+
+var benchThresholds = []float64{0.50, 0.70, 0.90}
+
+func BenchmarkTable2(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2(benchThresholds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table5(s.Workloads[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(io.Discard)
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig1("GP-DK", s.Workloads[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2(benchThresholds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig3(rows, io.Discard)
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.IsoGrid(experiments.Fig4Labels(), sc.GridPs, sc.GridWs, sc.Workers,
+			[]float64{0.5, 0.65}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.IsoGrid(experiments.Fig7Labels(), sc.GridPs, sc.GridWs, sc.Workers,
+			[]float64{0.5, 0.65}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	s, _ := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8(s.Workloads[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSplitter(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSplitters(sc.Tiers[0], sc.P, 0.85, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationInit(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationInit(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTransfers(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTransfers(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTopology(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTopology(sc.Tiers[0], sc.P, 0.85, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMessageSize(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMessageSize(sc.Tiers[0], sc.P, sc.Workers, 1.0, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDKGamma(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDKGamma(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHeuristic(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHeuristic(2023, 24, sc.P, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnomalies(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Anomalies(16, []uint64{1}, []int{16, 64}, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BaselineComparison(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMIMDComparison(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MIMDComparison(sc.Tiers[0], sc.P, sc.Workers, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariance(b *testing.B) {
+	_, sc := tinySuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Variance(sc.Tiers[0], sc.P, sc.Workers, 3,
+			[]string{"GP-DK", "nGP-S0.90"}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialIDAStar measures the serial 15-puzzle searcher that
+// provides the ground-truth problem sizes.
+func BenchmarkSerialIDAStar(b *testing.B) {
+	dom := puzzle.NewDomain(puzzle.Scramble(3, 26))
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		r := search.IDAStar[puzzle.Node](dom, 0)
+		total += r.Expanded
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "nodes/op")
+}
+
+// BenchmarkPuzzleExpand measures raw successor generation.
+func BenchmarkPuzzleExpand(b *testing.B) {
+	dom := puzzle.NewDomain(puzzle.Scramble(3, 40))
+	node := dom.Root()
+	buf := make([]puzzle.Node, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = dom.Expand(node, buf[:0])
+	}
+	_ = buf
+}

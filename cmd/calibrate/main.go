@@ -1,0 +1,28 @@
+// Command calibrate measures the serial problem size W of scrambled
+// 15-puzzle instances over a range of seeds and walk lengths; it is the
+// tool used to pin the instances quoted in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"simdtree/internal/puzzle"
+	"simdtree/internal/search"
+)
+
+func main() {
+	minSteps := flag.Int("min", 36, "minimum scramble length")
+	maxSteps := flag.Int("max", 48, "maximum scramble length")
+	seeds := flag.Int("seeds", 6, "seeds per length")
+	base := flag.Uint64("base", 2020, "first seed")
+	flag.Parse()
+	for steps := *minSteps; steps <= *maxSteps; steps += 4 {
+		for s := 0; s < *seeds; s++ {
+			seed := *base + uint64(s)
+			dom := puzzle.NewDomain(puzzle.Scramble(seed, steps))
+			b, w := search.FinalIterationBound(dom)
+			fmt.Printf("steps=%d seed=%d bound=%d W=%d\n", steps, seed, b, w)
+		}
+	}
+}

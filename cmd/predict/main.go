@@ -1,0 +1,79 @@
+// Command predict answers the capacity-planning questions the paper's
+// scalability analysis exists for, from the closed forms alone (no
+// simulation):
+//
+//   - the optimal static trigger xo for a given (W, P) — equation 18;
+//   - the modelled efficiency of GP-S^x and nGP-S^x at (W, P);
+//   - the problem size needed to sustain a target efficiency
+//     (inverse isoefficiency);
+//   - the symbolic isoefficiency function per topology (Table 6).
+//
+// Example:
+//
+//	predict -w 16e6 -p 8192 -x 0.9 -topology cm2 -target 0.85
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdtree/internal/analysis"
+	"simdtree/internal/simd"
+	"simdtree/internal/topology"
+)
+
+func main() {
+	var (
+		w        = flag.Float64("w", 1e6, "problem size (nodes the serial search expands)")
+		p        = flag.Float64("p", 8192, "number of processors")
+		x        = flag.Float64("x", 0.9, "static trigger threshold for the efficiency model")
+		alpha    = flag.Float64("alpha", 0.5, "work-splitting quality (0,1)")
+		topoName = flag.String("topology", "cm2", "interconnect: cm2, hypercube, mesh or crossbar")
+		target   = flag.Float64("target", 0.85, "target efficiency for the inverse-isoefficiency question")
+	)
+	flag.Parse()
+
+	net, err := topology.ByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+	costs := simd.CM2Costs()
+	ratio := float64(costs.PhaseCost(net, int(*p), 1)) / float64(costs.NodeExpansion)
+
+	fmt.Printf("machine: P=%.0f on %s; tlb/Ucalc = %.3f (CM-2 unit costs)\n\n", *p, net.Name(), ratio)
+
+	xo := analysis.OptimalStaticTrigger(*w, *p, ratio, *alpha)
+	fmt.Printf("optimal static trigger (eq. 18): xo = %.3f for W = %.3g\n\n", xo, *w)
+
+	fmt.Println("modelled efficiency at (W, P):")
+	for _, m := range []string{"GP", "nGP"} {
+		v := analysis.VBoundGP(*x)
+		if m == "nGP" {
+			v = analysis.VBoundNGP(*x, *w, *alpha)
+		}
+		e := analysis.ModelEfficiency(*x, 0, *w, *p, v, ratio, *alpha)
+		fmt.Printf("  %-4s S%.2f: E = %.3f\n", m, *x, e)
+	}
+	fmt.Println()
+
+	fmt.Printf("problem size to sustain E = %.2f:\n", *target)
+	for _, m := range []string{"GP", "nGP"} {
+		if req, ok := analysis.RequiredW(*target, *p, m, *x, ratio, *alpha); ok {
+			fmt.Printf("  %-4s S%.2f: W >= %.3g\n", m, *x, req)
+		} else {
+			fmt.Printf("  %-4s S%.2f: unreachable (model caps E below the target at this x)\n", m, *x)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("isoefficiency functions (Table 6):")
+	for _, mName := range []string{"GP", "nGP"} {
+		iso, err := analysis.IsoStatic(mName, *x, net.Name())
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-4s S%.2f on %s: %s\n", mName, *x, net.Name(), iso)
+	}
+}

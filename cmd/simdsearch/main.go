@@ -1,0 +1,171 @@
+// Command simdsearch runs a single parallel tree search on the simulated
+// SIMD machine and reports the paper's Section 3.1 statistics.
+//
+// Examples:
+//
+//	simdsearch -domain puzzle -scramble 42 -steps 40 -scheme GP-DK -p 1024
+//	simdsearch -domain synthetic -w 1000000 -scheme nGP-S0.80 -p 8192
+//	simdsearch -domain queens -n 11 -scheme GP-S0.90 -p 256 -topology mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/mimd"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/topology"
+	"simdtree/internal/trace"
+)
+
+func main() {
+	var (
+		domain   = flag.String("domain", "puzzle", "problem domain: puzzle, synthetic or queens")
+		scheme   = flag.String("scheme", "GP-DK", "load-balancing scheme, e.g. GP-S0.90, nGP-DP, GP-DK")
+		p        = flag.Int("p", 1024, "number of simulated processors")
+		workers  = flag.Int("workers", 0, "goroutines per simulated cycle (0 = sequential)")
+		topoName = flag.String("topology", "cm2", "interconnect: cm2, hypercube, mesh or crossbar")
+		lbScale  = flag.Float64("lbscale", 1, "multiplier on load-balancing cost (Table 5 style)")
+		stop     = flag.Bool("stop", false, "stop at the first goal instead of searching exhaustively")
+		showTr   = flag.Bool("trace", false, "print the per-cycle active-processor trace")
+		progress = flag.Int("progress", 0, "print a liveness line to stderr every N cycles (0 = off)")
+
+		engine = flag.String("engine", "simd", "execution model: simd (the paper's lock-step machine) or mimd (work stealing: scheme GRR, ARR or RP)")
+		ida    = flag.Bool("ida", false, "puzzle: run complete parallel IDA* (all iterations on the machine) instead of only the final bounded iteration")
+		lc     = flag.Bool("lc", false, "puzzle: use the Manhattan+linear-conflict heuristic (smaller W, costlier bound)")
+
+		scramble = flag.Uint64("scramble", 1, "puzzle: scramble seed")
+		steps    = flag.Int("steps", 40, "puzzle: scramble walk length")
+		bound    = flag.Int("bound", 0, "puzzle: explicit IDA* cost bound (0 = bound of the first solving iteration)")
+
+		w    = flag.Int64("w", 100000, "synthetic: exact tree size")
+		seed = flag.Uint64("seed", 7, "synthetic: tree seed")
+		n    = flag.Int("n", 10, "queens: board size")
+	)
+	flag.Parse()
+
+	net, err := topology.ByName(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := simd.Options{P: *p, Workers: *workers, Topology: net, StopAtFirstGoal: *stop}
+	opts.Costs = simd.CM2Costs()
+	opts.Costs.LBScale = *lbScale
+	var tr *trace.Trace
+	if *showTr {
+		tr = &trace.Trace{}
+		opts.Trace = tr
+	}
+	if *progress > 0 {
+		opts.ProgressEvery = *progress
+		opts.Progress = func(p simd.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "  cycle %d: active=%d W=%d phases=%d Tpar=%v\n",
+				p.Cycles, p.Active, p.W, p.LBPhases, p.Tpar)
+		}
+	}
+
+	var stats metrics.Stats
+	switch *domain {
+	case "puzzle":
+		inst := puzzle.Scramble(*scramble, *steps)
+		fmt.Println("start position:")
+		fmt.Println(inst)
+		var dom search.CostDomain[puzzle.Node] = puzzle.NewDomain(inst)
+		if *lc {
+			dom = puzzle.NewDomainLC(inst)
+		}
+		if *ida {
+			stats, err = runIDAStar(dom, *scheme, opts)
+			break
+		}
+		b := *bound
+		var serialW int64
+		if b == 0 {
+			b, serialW = search.FinalIterationBound(dom)
+		} else {
+			serialW = search.DFS[puzzle.Node](search.NewBounded(dom, b)).Expanded
+		}
+		fmt.Printf("cost bound %d, serial W = %d\n", b, serialW)
+		stats, err = runScheme(search.NewBounded(dom, b), *scheme, opts, *engine)
+	case "synthetic":
+		stats, err = runScheme(synthetic.New(*w, *seed), *scheme, opts, *engine)
+	case "queens":
+		stats, err = runScheme(queens.New(*n), *scheme, opts, *engine)
+	default:
+		err = fmt.Errorf("unknown domain %q", *domain)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println(stats)
+	fmt.Printf("  Tpar=%v Tcalc=%v Tidle=%v Tlb=%v\n", stats.Tpar, stats.Tcalc, stats.Tidle, stats.Tlb)
+	fmt.Printf("  init: %d cycles, %d phases; peak stack %d nodes; largest transfer %d nodes\n",
+		stats.InitCycles, stats.InitPhases, stats.PeakStack, stats.MaxTransfer)
+	if tr != nil {
+		min, at := tr.MinActive()
+		fmt.Printf("  trace: %d samples, min active %d at cycle %d\n", len(tr.Samples), min, at)
+		stride := len(tr.Samples)/40 + 1
+		for i, s := range tr.Samples {
+			if i%stride == 0 {
+				fmt.Printf("  cycle %5d  active %6d\n", s.Cycle, s.Active)
+			}
+		}
+	}
+}
+
+func runScheme[S any](d search.Domain[S], label string, opts simd.Options, engine string) (metrics.Stats, error) {
+	switch engine {
+	case "simd":
+		sch, err := simd.ParseScheme[S](label)
+		if err != nil {
+			return metrics.Stats{}, err
+		}
+		return simd.Run[S](d, sch, opts)
+	case "mimd":
+		pol, err := mimd.ParsePolicy(label)
+		if err != nil {
+			return metrics.Stats{}, fmt.Errorf("mimd engine wants -scheme GRR, ARR or RP: %w", err)
+		}
+		st, err := mimd.Run[S](d, mimd.Options{
+			P:             opts.P,
+			Policy:        pol,
+			Topology:      opts.Topology,
+			NodeExpansion: opts.Costs.NodeExpansion,
+			TransferUnit:  opts.Costs.TransferUnit,
+			Seed:          1,
+		})
+		return st.Stats, err
+	}
+	return metrics.Stats{}, fmt.Errorf("unknown engine %q", engine)
+}
+
+// runIDAStar executes the paper's complete algorithm: every IDA*
+// iteration on the SIMD machine, printing the per-iteration progression.
+func runIDAStar(dom search.CostDomain[puzzle.Node], label string, opts simd.Options) (metrics.Stats, error) {
+	sch, err := simd.ParseScheme[puzzle.Node](label)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	res, err := simd.RunIDAStar[puzzle.Node](dom, sch, opts, 0)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	fmt.Printf("parallel IDA*: %d iterations, final bound %d\n", len(res.Iterations), res.Bound)
+	for _, it := range res.Iterations {
+		fmt.Printf("  bound %2d: W=%-9d cycles=%-6d phases=%-5d E=%.3f\n",
+			it.Bound, it.Stats.W, it.Stats.Cycles, it.Stats.LBPhases, it.Stats.Efficiency())
+	}
+	return res.Stats, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simdsearch:", err)
+	os.Exit(1)
+}

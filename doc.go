@@ -1,0 +1,68 @@
+// Package simdtree reproduces "Unstructured Tree Search on SIMD Parallel
+// Computers" (Karypis & Kumar, SC 1992): load balancing of unstructured
+// tree searches on lock-step SIMD machines.
+//
+// The library is organised as the paper is:
+//
+//   - internal/simd — the lock-step machine simulator (the CM-2 substitute):
+//     search phases of node-expansion cycles alternating with
+//     load-balancing phases under a virtual cost model.
+//   - internal/match — the nGP and GP (global pointer) matching schemes.
+//   - internal/trigger — the S^x static, D^P and D^K dynamic triggers.
+//   - internal/stack — DFS stacks and alpha-splitting mechanisms.
+//   - internal/search, internal/puzzle, internal/synthetic,
+//     internal/queens — the problem abstraction and workloads.
+//   - internal/baselines, internal/mimd — the Section 8 competitors and the
+//     MIMD work-stealing comparison.
+//   - internal/analysis — isoefficiency functions, V(P) bounds and the
+//     optimal static trigger (equation 18).
+//   - internal/experiments — runners regenerating every table and figure.
+//
+// This file provides a small convenience facade over those packages; the
+// examples/ directory shows the underlying APIs directly.
+package simdtree
+
+import (
+	"simdtree/internal/metrics"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+)
+
+// Stats re-exports the Section 3.1 run statistics.
+type Stats = metrics.Stats
+
+// Options re-exports the machine configuration.
+type Options = simd.Options
+
+// Schemes returns the labels of the paper's six load-balancing schemes
+// (Table 1) with a representative static threshold.
+func Schemes() []string { return simd.Table1Labels(0.85) }
+
+// Run simulates scheme `label` searching domain d on a SIMD machine.
+func Run[S any](d search.Domain[S], label string, opts Options) (Stats, error) {
+	sch, err := simd.ParseScheme[S](label)
+	if err != nil {
+		return Stats{}, err
+	}
+	return simd.Run[S](d, sch, opts)
+}
+
+// SearchPuzzle scrambles a 15-puzzle with the given seed and walk length,
+// finds the IDA* bound of the first solving iteration, and searches that
+// final iteration exhaustively on a simulated SIMD machine — the paper's
+// experimental setup in one call.  It returns the run statistics and the
+// serial problem size W.
+func SearchPuzzle(seed uint64, steps int, label string, opts Options) (Stats, int64, error) {
+	dom := puzzle.NewDomain(puzzle.Scramble(seed, steps))
+	bound, w := search.FinalIterationBound(dom)
+	stats, err := Run[puzzle.Node](search.NewBounded(dom, bound), label, opts)
+	return stats, w, err
+}
+
+// SearchSynthetic searches a deterministic synthetic tree of exactly w
+// nodes under scheme `label`.
+func SearchSynthetic(w int64, seed uint64, label string, opts Options) (Stats, error) {
+	return Run[synthetic.Node](synthetic.New(w, seed), label, opts)
+}

@@ -1,0 +1,60 @@
+// Schemes shootout: run every load-balancing scheme of the paper's Table 1
+// plus the Section 8 baselines on one workload and compare the metrics the
+// paper's tables report.  With the static threshold high and the machine
+// large, GP should beat nGP on phase count, and the dynamic triggers should
+// track the optimal static trigger.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"text/tabwriter"
+
+	"simdtree/internal/analysis"
+	"simdtree/internal/baselines"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+)
+
+func main() {
+	const (
+		w = 500_000
+		p = 1024
+	)
+	tree := synthetic.New(w, 99)
+
+	var schemes []simd.Scheme[synthetic.Node]
+	for _, label := range simd.Table1Labels(0.90) {
+		sch, err := simd.ParseScheme[synthetic.Node](label)
+		if err != nil {
+			log.Fatal(err)
+		}
+		schemes = append(schemes, sch)
+	}
+	// The analytically optimal static trigger for this (W, P) pair.
+	xo := analysis.OptimalStaticTrigger(w, p, 13.0/30.0, 0.5)
+	opt, err := simd.StaticScheme[synthetic.Node]("GP", xo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.Label = fmt.Sprintf("GP-S%.2f (xo)", xo)
+	schemes = append(schemes, opt)
+	schemes = append(schemes, baselines.All[synthetic.Node]()...)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scheme\tNexpand\tNlb\ttransfers\tE\tspeedup\n")
+	for _, sch := range schemes {
+		opts := simd.Options{P: p, Workers: runtime.NumCPU()}
+		opts.Costs = simd.CM2Costs()
+		stats, err := simd.Run[synthetic.Node](tree, sch, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.0f\n",
+			sch.Label, stats.Cycles, stats.LBPhases, stats.Transfers,
+			stats.Efficiency(), stats.Speedup())
+	}
+	tw.Flush()
+}

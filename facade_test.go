@@ -1,0 +1,56 @@
+package simdtree
+
+import (
+	"testing"
+
+	"simdtree/internal/queens"
+)
+
+func TestSchemesList(t *testing.T) {
+	labels := Schemes()
+	if len(labels) != 6 {
+		t.Fatalf("%d schemes, want the 6 of Table 1", len(labels))
+	}
+}
+
+func TestSearchSynthetic(t *testing.T) {
+	stats, err := SearchSynthetic(5000, 1, "GP-DK", Options{P: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.W != 5000 {
+		t.Errorf("W=%d, want 5000", stats.W)
+	}
+	if stats.Efficiency() <= 0 {
+		t.Error("non-positive efficiency")
+	}
+}
+
+func TestSearchPuzzle(t *testing.T) {
+	stats, w, err := SearchPuzzle(5, 16, "GP-S0.80", Options{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.W != w {
+		t.Errorf("parallel W=%d, serial W=%d", stats.W, w)
+	}
+	if stats.Goals == 0 {
+		t.Error("no solutions found in the final iteration")
+	}
+}
+
+func TestRunRejectsBadScheme(t *testing.T) {
+	if _, err := SearchSynthetic(100, 1, "bogus", Options{P: 4}); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestRunGenericWithCustomDomain(t *testing.T) {
+	stats, err := Run[queens.Node](queens.New(7), "nGP-S0.70", Options{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Goals != 40 {
+		t.Errorf("7-queens found %d solutions, want 40", stats.Goals)
+	}
+}

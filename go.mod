@@ -1,0 +1,3 @@
+module simdtree
+
+go 1.22

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"simdtree/internal/analysis"
+)
+
+// Computing the optimal static trigger for the paper's largest
+// experiment: W = 16.1M nodes on 8192 processors with the CM-2's
+// tlb/Ucalc = 13/30 (the paper's Table 2 prints 0.95 for this tier).
+func ExampleOptimalStaticTrigger() {
+	xo := analysis.OptimalStaticTrigger(16110463, 8192, 13.0/30.0, 0.5)
+	fmt.Printf("xo = %.2f\n", xo)
+	// Output:
+	// xo = 0.93
+}
+
+// The worst-case phase bounds behind Table 6: GP needs a constant number
+// of phases per work-halving, nGP a polylog factor that explodes with x.
+func ExampleVBoundGP() {
+	fmt.Println(analysis.VBoundGP(0.5), analysis.VBoundGP(0.8), analysis.VBoundGP(0.9))
+	// Output:
+	// 2 5 10
+}
+
+// Symbolic isoefficiency functions per architecture (Table 6).
+func ExampleIsoStatic() {
+	for _, topo := range []string{"cm2", "hypercube", "mesh"} {
+		gp, _ := analysis.IsoStatic("GP", 0.9, topo)
+		fmt.Printf("GP-S0.90 on %-9s %s\n", topo+":", gp)
+	}
+	// Output:
+	// GP-S0.90 on cm2:      O(P log P)
+	// GP-S0.90 on hypercube: O(P log^3 P)
+	// GP-S0.90 on mesh:     O(P^1.5 log P)
+}
+
+// Inverse isoefficiency: how large a problem sustains E = 0.80 on 8192
+// CM-2 processors under GP-S0.90?
+func ExampleRequiredW() {
+	w, ok := analysis.RequiredW(0.80, 8192, "GP", 0.9, 13.0/30.0, 0.5)
+	fmt.Printf("reachable=%v, W ~ %.1fM nodes\n", ok, w/1e6)
+	// Output:
+	// reachable=true, W ~ 5.7M nodes
+}

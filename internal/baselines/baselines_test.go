@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"testing"
+
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/topology"
+)
+
+func runScheme(t *testing.T, sch simd.Scheme[synthetic.Node], w int64, opts simd.Options) (stats interface {
+	Efficiency() float64
+}, raw simdStats) {
+	t.Helper()
+	st, err := simd.Run[synthetic.Node](synthetic.New(w, 0xBA5E), sch, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", sch.Label, err)
+	}
+	return st, simdStats{w: st.W, cycles: st.Cycles, phases: st.LBPhases, transfers: st.Transfers, e: st.Efficiency()}
+}
+
+type simdStats struct {
+	w         int64
+	cycles    int
+	phases    int
+	transfers int
+	e         float64
+}
+
+// TestBaselinesSearchCorrectly verifies every baseline expands exactly the
+// serial node count.
+func TestBaselinesSearchCorrectly(t *testing.T) {
+	const w = 40000
+	serial := search.DFS[synthetic.Node](synthetic.New(w, 0xBA5E))
+	for _, sch := range All[synthetic.Node]() {
+		_, raw := runScheme(t, sch, w, simd.Options{P: 64})
+		if raw.w != serial.Expanded {
+			t.Errorf("%s: W=%d, serial %d", sch.Label, raw.w, serial.Expanded)
+		}
+	}
+}
+
+// TestFESSBalancesConstantly checks the FESS analysis of Section 8: with
+// an any-idle trigger it performs nearly one phase per expansion cycle.
+func TestFESSBalancesConstantly(t *testing.T) {
+	_, raw := runScheme(t, FESS[synthetic.Node](), 40000, simd.Options{P: 64})
+	if float64(raw.phases) < 0.5*float64(raw.cycles) {
+		t.Errorf("FESS: %d phases over %d cycles; expected phases ~ cycles", raw.phases, raw.cycles)
+	}
+}
+
+// TestFEGSSpreadsMoreThanFESS: FEGS's multi-round phases serve every idle
+// processor, so it transfers at least as much per phase as FESS.
+func TestFEGSSpreadsMoreThanFESS(t *testing.T) {
+	_, fess := runScheme(t, FESS[synthetic.Node](), 60000, simd.Options{P: 64})
+	_, fegs := runScheme(t, FEGS[synthetic.Node](), 60000, simd.Options{P: 64})
+	perPhaseFESS := float64(fess.transfers) / float64(fess.phases)
+	perPhaseFEGS := float64(fegs.transfers) / float64(fegs.phases)
+	if perPhaseFEGS < perPhaseFESS {
+		t.Errorf("FEGS transfers/phase %.1f < FESS %.1f", perPhaseFEGS, perPhaseFESS)
+	}
+	// FEGS should not need meaningfully more cycles than FESS; small
+	// differences arise from its different split strategy.
+	if float64(fegs.cycles) > 1.1*float64(fess.cycles) {
+		t.Errorf("FEGS needed far more cycles (%d) than FESS (%d) despite better balance", fegs.cycles, fess.cycles)
+	}
+}
+
+// TestGPBeatsBaselines reproduces the headline comparison: the paper's
+// GP-DK outperforms all Section 8 baselines on a sizeable problem.
+func TestGPBeatsBaselines(t *testing.T) {
+	const w = 120000
+	gpdk, err := simd.ParseScheme[synthetic.Node]("GP-DK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gp := runScheme(t, gpdk, w, simd.Options{P: 256})
+	for _, sch := range All[synthetic.Node]() {
+		_, base := runScheme(t, sch, w, simd.Options{P: 256})
+		if base.e > gp.e+0.03 {
+			t.Errorf("%s efficiency %.3f beats GP-DK %.3f", sch.Label, base.e, gp.e)
+		}
+	}
+}
+
+// TestNearestNeighborDiffusesSlowly: with purely local transfers on a
+// mesh, filling the machine takes at least on the order of the mesh
+// diameter in cycles.
+func TestNearestNeighborDiffusesSlowly(t *testing.T) {
+	nn := NearestNeighbor[synthetic.Node]()
+	opts := simd.Options{P: 64, Topology: topology.Mesh{}}
+	st, err := simd.Run[synthetic.Node](synthetic.New(40000, 0xBA5E), nn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W != 40000 {
+		t.Errorf("W=%d", st.W)
+	}
+	if st.LBPhases == 0 {
+		t.Error("nearest-neighbour scheme never balanced")
+	}
+}
+
+// TestGiveOneServesManyFromOneDonor checks the Frye scheme's signature
+// behaviour: a single busy processor can serve several idle processors in
+// one phase, one node each.
+func TestGiveOneServesManyFromOneDonor(t *testing.T) {
+	sch := FryeGiveOne[synthetic.Node](0.99)
+	st, err := simd.Run[synthetic.Node](synthetic.New(30000, 0xBA5E), sch, simd.Options{P: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxTransfer != 1 {
+		t.Errorf("give-one moved %d nodes in one transfer, want 1", st.MaxTransfer)
+	}
+	if st.W != 30000 {
+		t.Errorf("W=%d", st.W)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"simdtree/internal/trace"
+)
+
+// CSV emitters: machine-readable copies of the experiment rows, one file
+// per table or figure, so results can be re-plotted outside this
+// repository.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+func itoa(v int) string   { return strconv.Itoa(v) }
+
+// Table2CSV emits the Table 2 rows.
+func Table2CSV(rows []Table2Row, w io.Writer) error {
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			strconv.FormatInt(r.W, 10), f3(r.X),
+			itoa(r.NGP.Nexpand), itoa(r.NGP.Nlb), f3(r.NGP.E),
+			itoa(r.GP.Nexpand), itoa(r.GP.Nlb), f3(r.GP.E),
+			f3(r.Xo),
+		})
+	}
+	return writeCSV(w, []string{
+		"w", "x", "ngp_nexpand", "ngp_nlb", "ngp_e", "gp_nexpand", "gp_nlb", "gp_e", "xo",
+	}, body)
+}
+
+// Table3CSV emits the Table 3 rows.
+func Table3CSV(rows []Table3Row, w io.Writer) error {
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{strconv.FormatInt(r.W, 10), f3(r.Xo), f3(r.X), f3(r.E)})
+	}
+	return writeCSV(w, []string{"w", "xo", "x", "e"}, body)
+}
+
+// Table4CSV emits the Table 4 rows.
+func Table4CSV(rows []Table4Row, w io.Writer) error {
+	var body [][]string
+	for _, r := range rows {
+		cells := []string{strconv.FormatInt(r.W, 10)}
+		for _, c := range []CellResult{r.NGPDP, r.GPDP, r.NGPDK, r.GPDK} {
+			cells = append(cells, itoa(c.Nexpand), itoa(c.Transfers), f3(c.E))
+		}
+		body = append(body, cells)
+	}
+	return writeCSV(w, []string{
+		"w",
+		"ngp_dp_nexpand", "ngp_dp_transfers", "ngp_dp_e",
+		"gp_dp_nexpand", "gp_dp_transfers", "gp_dp_e",
+		"ngp_dk_nexpand", "ngp_dk_transfers", "ngp_dk_e",
+		"gp_dk_nexpand", "gp_dk_transfers", "gp_dk_e",
+	}, body)
+}
+
+// Table5CSV emits the Table 5 rows.
+func Table5CSV(rows []Table5Row, w io.Writer) error {
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			f3(r.LBScale),
+			itoa(r.DP.Nexpand), itoa(r.DP.Nlb), f3(r.DP.E),
+			itoa(r.DK.Nexpand), itoa(r.DK.Nlb), f3(r.DK.E),
+			itoa(r.SXo.Nexpand), itoa(r.SXo.Nlb), f3(r.SXo.E),
+			f3(r.Xo),
+		})
+	}
+	return writeCSV(w, []string{
+		"lb_scale",
+		"dp_nexpand", "dp_nlb", "dp_e",
+		"dk_nexpand", "dk_nlb", "dk_e",
+		"sxo_nexpand", "sxo_nlb", "sxo_e",
+		"xo",
+	}, body)
+}
+
+// GridCSV emits every isoefficiency grid sample and the extracted
+// iso-curve points (Figures 4 and 7).
+func GridCSV(results []GridResult, w io.Writer) error {
+	var body [][]string
+	for _, res := range results {
+		for _, s := range res.Samples {
+			body = append(body, []string{res.Scheme, "sample", itoa(s.P), strconv.FormatInt(s.W, 10), f3(s.E)})
+		}
+		for lv, pts := range res.Curves {
+			for _, pt := range pts {
+				body = append(body, []string{res.Scheme, fmt.Sprintf("iso_%.2f", lv), itoa(pt.P), f3(pt.W), f3(lv)})
+			}
+		}
+	}
+	return writeCSV(w, []string{"scheme", "kind", "p", "w", "e"}, body)
+}
+
+// TraceCSV emits a per-cycle trace (Figures 1 and 8).
+func TraceCSV(tr *trace.Trace, w io.Writer) error {
+	var body [][]string
+	for _, s := range tr.Samples {
+		body = append(body, []string{
+			itoa(s.Cycle), itoa(s.Active),
+			strconv.FormatInt(int64(s.R1), 10), strconv.FormatInt(int64(s.R2), 10),
+		})
+	}
+	return writeCSV(w, []string{"cycle", "active", "r1_ns", "r2_ns"}, body)
+}
+
+// AnomalyCSV emits the DFBB anomaly measurements.
+func AnomalyCSV(rows []AnomalyRow, w io.Writer) error {
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			strconv.FormatUint(r.Seed, 10), itoa(r.P),
+			strconv.FormatInt(r.SerialW, 10), strconv.FormatInt(r.ParallelW, 10),
+			f3(r.Ratio), strconv.FormatBool(r.Optimal),
+		})
+	}
+	return writeCSV(w, []string{"seed", "p", "serial_w", "parallel_w", "ratio", "optimal"}, body)
+}

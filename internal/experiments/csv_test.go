@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"simdtree/internal/analysis"
+	"simdtree/internal/trace"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return records
+}
+
+func TestTable2CSV(t *testing.T) {
+	rows := []Table2Row{{
+		W: 941852, X: 0.9,
+		NGP: CellResult{Nexpand: 153, Nlb: 151, E: 0.52},
+		GP:  CellResult{Nexpand: 142, Nlb: 122, E: 0.59},
+		Xo:  0.82,
+	}}
+	var buf bytes.Buffer
+	if err := Table2CSV(rows, &buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 || len(recs[0]) != 9 {
+		t.Fatalf("records %v", recs)
+	}
+	if recs[1][0] != "941852" || recs[1][5] != "142" {
+		t.Errorf("row %v", recs[1])
+	}
+}
+
+func TestTable3And4And5CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3CSV([]Table3Row{{W: 5, Xo: 0.8, X: 0.79, E: 0.6}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, &buf)); got != 2 {
+		t.Errorf("table3: %d records", got)
+	}
+
+	buf.Reset()
+	if err := Table4CSV([]Table4Row{{W: 5}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 || len(recs[1]) != 13 {
+		t.Errorf("table4: %v", recs)
+	}
+
+	buf.Reset()
+	if err := Table5CSV([]Table5Row{{LBScale: 16}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	recs = parseCSV(t, &buf)
+	if len(recs) != 2 || recs[1][0] != "16.0000" {
+		t.Errorf("table5: %v", recs)
+	}
+}
+
+func TestGridCSV(t *testing.T) {
+	res := []GridResult{{
+		Scheme:  "GP-S0.90",
+		Samples: []analysis.Sample{{P: 16, W: 1000, E: 0.5}},
+		Curves:  map[float64][]analysis.Point{0.5: {{P: 16, W: 900}}},
+	}}
+	var buf bytes.Buffer
+	if err := GridCSV(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sample") || !strings.Contains(out, "iso_0.50") {
+		t.Errorf("grid CSV missing kinds:\n%s", out)
+	}
+}
+
+func TestTraceAndAnomalyCSV(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.RecordCycle(trace.Sample{Cycle: 0, Active: 7})
+	var buf bytes.Buffer
+	if err := TraceCSV(tr, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, &buf)); got != 2 {
+		t.Errorf("trace: %d records", got)
+	}
+
+	buf.Reset()
+	if err := AnomalyCSV([]AnomalyRow{{Seed: 1, P: 16, SerialW: 10, ParallelW: 30, Ratio: 3, Optimal: true}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 || recs[1][5] != "true" {
+		t.Errorf("anomaly: %v", recs)
+	}
+}

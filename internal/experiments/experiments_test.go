@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"simdtree/internal/synthetic"
+)
+
+func tinySyntheticSuite(out io.Writer) *Suite[synthetic.Node] {
+	sc := TinyScale
+	return &Suite[synthetic.Node]{
+		Workloads: SyntheticWorkloads(sc.Tiers),
+		P:         sc.P,
+		Workers:   sc.Workers,
+		Out:       out,
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"full", "quick", "tiny"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, sc, err)
+		}
+	}
+	if _, err := ScaleByName("gigantic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestSyntheticWorkloadsExactSizes(t *testing.T) {
+	wls := SyntheticWorkloads([]int64{1000, 5000})
+	if len(wls) != 2 || wls[0].W != 1000 || wls[1].W != 5000 {
+		t.Fatalf("workloads %+v", wls)
+	}
+}
+
+// TestTable2Shape runs Table 2 at tiny scale and asserts the paper-shape
+// invariants: at x=0.5 the schemes coincide; the nGP-GP phase gap is
+// non-negative at every threshold; efficiencies are sane.
+func TestTable2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySyntheticSuite(&buf)
+	rows, err := s.Table2([]float64{0.50, 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Workloads)*2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.X == 0.50 && r.NGP.Nlb != r.GP.Nlb {
+			t.Errorf("W=%d x=0.5: phase counts differ (nGP %d, GP %d)", r.W, r.NGP.Nlb, r.GP.Nlb)
+		}
+		if r.NGP.Nlb < r.GP.Nlb {
+			t.Errorf("W=%d x=%.2f: GP performed more phases than nGP", r.W, r.X)
+		}
+		for _, e := range []float64{r.NGP.E, r.GP.E} {
+			if e <= 0 || e > 1 {
+				t.Errorf("W=%d x=%.2f: efficiency %f out of range", r.W, r.X, e)
+			}
+		}
+		if r.Xo <= 0 || r.Xo >= 1 {
+			t.Errorf("analytic trigger %f out of range", r.Xo)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("missing table header in output")
+	}
+}
+
+func TestTable3RunsAroundOptimum(t *testing.T) {
+	s := tinySyntheticSuite(io.Discard)
+	s.Workloads = s.Workloads[:1]
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.X <= 0 || r.X >= 1 || r.E <= 0 || r.E > 1 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+}
+
+// TestTable4Shape asserts GP dominates nGP under both dynamic triggers.
+func TestTable4Shape(t *testing.T) {
+	s := tinySyntheticSuite(io.Discard)
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GPDP.E < r.NGPDP.E-0.05 {
+			t.Errorf("W=%d: GP-DP (%.3f) far below nGP-DP (%.3f)", r.W, r.GPDP.E, r.NGPDP.E)
+		}
+		if r.GPDK.E < r.NGPDK.E-0.05 {
+			t.Errorf("W=%d: GP-DK (%.3f) far below nGP-DK (%.3f)", r.W, r.GPDK.E, r.NGPDK.E)
+		}
+	}
+}
+
+// TestTable5Shape asserts the load-balancing-cost story: every scheme
+// degrades as tlb inflates, and at 16x D^K is at least as good as D^P.
+func TestTable5Shape(t *testing.T) {
+	s := tinySyntheticSuite(io.Discard)
+	rows, err := s.Table5(s.Workloads[len(s.Workloads)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if rows[0].LBScale != 1 || rows[2].LBScale != 16 {
+		t.Fatalf("scales %v %v", rows[0].LBScale, rows[2].LBScale)
+	}
+	for _, pair := range [][2]int{{0, 1}, {1, 2}} {
+		if rows[pair[1]].DK.E > rows[pair[0]].DK.E+0.01 {
+			t.Errorf("DK efficiency rose with more expensive LB: %+v", rows)
+		}
+	}
+	last := rows[2]
+	if last.DK.E < last.DP.E-0.01 {
+		t.Errorf("at 16x cost, DK (%.3f) should not trail DP (%.3f)", last.DK.E, last.DP.E)
+	}
+	if last.Xo >= rows[0].Xo {
+		t.Error("analytic trigger should fall as LB cost rises")
+	}
+}
+
+func TestTable6Prints(t *testing.T) {
+	var buf bytes.Buffer
+	Table6(&buf)
+	out := buf.String()
+	for _, frag := range []string{"hypercube", "mesh", "log^3", "GP-S^x"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 6 output missing %q", frag)
+		}
+	}
+}
+
+func TestFig1EmitsTriggerGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySyntheticSuite(&buf)
+	tr, err := s.Fig1("GP-DK", s.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	// R2 for DK is L*P, which is positive once a phase has run.
+	positives := 0
+	for _, smp := range tr.Samples {
+		if smp.R2 > 0 {
+			positives++
+		}
+	}
+	if positives == 0 {
+		t.Error("R2 never positive; trigger geometry missing")
+	}
+	if !strings.Contains(buf.String(), "R1(ms)") {
+		t.Error("missing column header")
+	}
+}
+
+func TestFig3Derivation(t *testing.T) {
+	rows := []Table2Row{
+		{W: 1000, X: 0.9, NGP: CellResult{Nlb: 30}, GP: CellResult{Nlb: 20}},
+	}
+	var buf bytes.Buffer
+	Fig3(rows, &buf)
+	if !strings.Contains(buf.String(), "10") {
+		t.Error("difference column missing")
+	}
+}
+
+// TestIsoGridShape runs a miniature Figure 4 grid and checks the headline
+// scalability result: nGP-S0.90's isoefficiency curves grow at least as
+// fast as GP-S0.90's.
+func TestIsoGridShape(t *testing.T) {
+	sc := TinyScale
+	levels := []float64{0.50, 0.65}
+	results, err := IsoGrid([]string{"GP-S0.90", "nGP-S0.90"}, sc.GridPs, sc.GridWs, sc.Workers, levels, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	gp, ngp := results[0], results[1]
+	for _, lv := range levels {
+		gpPts, ngpPts := gp.Curves[lv], ngp.Curves[lv]
+		if len(gpPts) == 0 {
+			t.Errorf("GP curve at E=%.2f empty", lv)
+			continue
+		}
+		// At every shared machine size the nGP curve needs at least
+		// (roughly) as much W as GP.
+		byP := map[int]float64{}
+		for _, pt := range gpPts {
+			byP[pt.P] = pt.W
+		}
+		for _, pt := range ngpPts {
+			if gw, ok := byP[pt.P]; ok && pt.W < gw*0.8 {
+				t.Errorf("E=%.2f P=%d: nGP needs less work (%.0f) than GP (%.0f)", lv, pt.P, pt.W, gw)
+			}
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	s := tinySyntheticSuite(io.Discard)
+	series, err := s.Fig8(s.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("%d series, want 4 (2 schemes x 2 costs)", len(series))
+	}
+	for _, sr := range series {
+		if len(sr.Active) == 0 {
+			t.Errorf("%s @%.0fx: empty series", sr.Label, sr.LBScale)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	const w = 4000
+	split, err := AblationSplitters(w, 64, 0.85, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 3 {
+		t.Fatalf("splitter ablation returned %d entries", len(split))
+	}
+	// The deliberately poor top-node splitter should not beat bottom-node.
+	if split["top-node"].Efficiency() > split["bottom-node"].Efficiency()+0.05 {
+		t.Errorf("top-node (%.3f) beat bottom-node (%.3f)",
+			split["top-node"].Efficiency(), split["bottom-node"].Efficiency())
+	}
+
+	inits, err := AblationInit(w, 64, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inits) != 4 {
+		t.Fatalf("init ablation returned %d entries", len(inits))
+	}
+
+	tr, err := AblationTransfers(w, 64, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, single := tr["GP-DP-multi"], tr["GP-DP-single"]
+	// Per phase, the multi policy transfers at least as much as single (a
+	// phase may run several matching rounds); total counts can go either
+	// way because better balance needs fewer phases.
+	perMulti := float64(multi.Transfers) / float64(multi.LBPhases)
+	perSingle := float64(single.Transfers) / float64(single.LBPhases)
+	if perMulti < perSingle {
+		t.Errorf("multi-transfer DP moved less per phase (%.1f) than single (%.1f)", perMulti, perSingle)
+	}
+
+	topo, err := AblationTopology(w, 64, 0.85, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo["crossbar"].Efficiency() < topo["mesh"].Efficiency() {
+		t.Error("free communication should not be less efficient than mesh costs")
+	}
+
+	heur, err := AblationHeuristic(2023, 24, 64, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur["manhattan+lc"].W > heur["manhattan"].W {
+		t.Errorf("linear conflict expanded more nodes (%d) than Manhattan alone (%d)",
+			heur["manhattan+lc"].W, heur["manhattan"].W)
+	}
+}
+
+func TestBaselineAndMIMDComparisons(t *testing.T) {
+	base, err := BaselineComparison(4000, 64, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 5 {
+		t.Fatalf("baseline comparison returned %d entries", len(base))
+	}
+	m, err := MIMDComparison(4000, 64, 2, 1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, e := range m {
+		if e <= 0 || e > 1 {
+			t.Errorf("%s: efficiency %f out of range", key, e)
+		}
+	}
+}
+
+// TestVariance checks the instance-variance experiment: spreads are
+// bounded and GP-S0.90 averages at least nGP-S0.90.
+func TestVariance(t *testing.T) {
+	rows, err := Variance(20000, 64, 2, 4, []string{"GP-S0.90", "nGP-S0.90"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byScheme := map[string]VarianceRow{}
+	for _, r := range rows {
+		if r.MinE > r.MeanE || r.MeanE > r.MaxE {
+			t.Errorf("%s: min/mean/max out of order: %+v", r.Scheme, r)
+		}
+		if r.StdDev < 0 || r.StdDev > 0.2 {
+			t.Errorf("%s: implausible stddev %f", r.Scheme, r.StdDev)
+		}
+		byScheme[r.Scheme] = r
+	}
+	if byScheme["GP-S0.90"].MeanE < byScheme["nGP-S0.90"].MeanE-0.02 {
+		t.Errorf("GP mean %f below nGP mean %f", byScheme["GP-S0.90"].MeanE, byScheme["nGP-S0.90"].MeanE)
+	}
+}
+
+// TestPuzzleWorkloadsSmallTargets exercises the instance calibration on
+// small tiers (fast); each workload must land within a factor of two.
+func TestPuzzleWorkloadsSmallTargets(t *testing.T) {
+	targets := []int64{500, 3000}
+	wls := PuzzleWorkloads(targets, nil)
+	if len(wls) != 2 {
+		t.Fatalf("%d workloads", len(wls))
+	}
+	for i, wl := range wls {
+		lo, hi := targets[i]/2, targets[i]*2
+		if wl.W < lo || wl.W > hi {
+			t.Errorf("tier %d: W=%d outside [%d, %d]", i, wl.W, lo, hi)
+		}
+	}
+}

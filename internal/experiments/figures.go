@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"simdtree/internal/analysis"
+	"simdtree/internal/plot"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/trace"
+)
+
+// Fig1 regenerates the trigger geometry of Figure 1 from a live run: the
+// per-cycle R1 and R2 quantities of the requested dynamic trigger
+// ("GP-DP" or "GP-DK").  A load balance fires whenever R1 >= R2.
+func (s *Suite[S]) Fig1(label string, wl Workload[S]) (*trace.Trace, error) {
+	tr := &trace.Trace{}
+	sch, err := simd.ParseScheme[S](label)
+	if err != nil {
+		return nil, err
+	}
+	opts := simd.Options{P: s.P, Workers: s.Workers, Trace: tr}
+	opts.Costs = simd.CM2Costs()
+	if _, err := simd.Run[S](wl.Domain, sch, opts); err != nil {
+		return nil, err
+	}
+	w := tw(s.Out)
+	fmt.Fprintf(w, "# Figure 1: per-cycle trigger quantities for %s on %s\n", label, wl.Name)
+	fmt.Fprintln(w, "cycle\tactive\tR1(ms)\tR2(ms)")
+	stride := len(tr.Samples)/60 + 1
+	for i, smp := range tr.Samples {
+		if i%stride != 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.1f\n", smp.Cycle, smp.Active,
+			float64(smp.R1)/1e6, float64(smp.R2)/1e6)
+	}
+	w.Flush()
+	return tr, nil
+}
+
+// Fig3 derives Figure 3 from Table 2 data: the difference in the number
+// of load-balancing phases performed by nGP and GP as a function of the
+// static threshold, for each problem size.  The gap should grow with both
+// x and W.
+func Fig3(rows []Table2Row, out io.Writer) {
+	w := tw(out)
+	fmt.Fprintln(w, "# Figure 3: Nlb(nGP) - Nlb(GP) vs static threshold x")
+	fmt.Fprintln(w, "W\tx\tnGP Nlb\tGP Nlb\tdiff")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.2f\t%d\t%d\t%d\n", r.W, r.X, r.NGP.Nlb, r.GP.Nlb, r.NGP.Nlb-r.GP.Nlb)
+	}
+	w.Flush()
+}
+
+// GridResult is the outcome of one scheme's isoefficiency grid.
+type GridResult struct {
+	Scheme  string
+	Samples []analysis.Sample
+	Curves  map[float64][]analysis.Point
+	// Exponents maps an efficiency level to the fitted growth exponent b
+	// in W ~ (P log P)^b for its curve.
+	Exponents map[float64]float64
+}
+
+// IsoGrid runs the isoefficiency grids behind Figures 4 and 7: every
+// scheme over the cartesian product of machine sizes and synthetic
+// problem sizes, then extracts experimental isoefficiency curves at the
+// given efficiency levels.  Flat W/(P log P) — growth exponent near 1 —
+// is the paper's O(P log P) verdict for GP; rising curves reproduce nGP's
+// degradation.
+func IsoGrid(labels []string, ps []int, ws []int64, workers int, levels []float64, out io.Writer) ([]GridResult, error) {
+	var results []GridResult
+	for _, label := range labels {
+		res := GridResult{Scheme: label}
+		for _, p := range ps {
+			for _, wSize := range ws {
+				sch, err := simd.ParseScheme[synthetic.Node](label)
+				if err != nil {
+					return nil, err
+				}
+				opts := simd.Options{P: p, Workers: workers}
+				opts.Costs = simd.CM2Costs()
+				st, err := simd.Run[synthetic.Node](synthetic.New(wSize, 0xBEEF^uint64(wSize)), sch, opts)
+				if err != nil {
+					return nil, err
+				}
+				res.Samples = append(res.Samples, analysis.Sample{P: p, W: st.W, E: st.Efficiency()})
+			}
+		}
+		res.Curves = analysis.IsoCurves(res.Samples, levels)
+		res.Exponents = make(map[float64]float64, len(levels))
+		for _, lv := range levels {
+			if b, ok := analysis.GrowthExponent(res.Curves[lv]); ok {
+				res.Exponents[lv] = b
+			}
+		}
+		results = append(results, res)
+	}
+	if out != nil {
+		printGrid(results, levels, out)
+	}
+	return results, nil
+}
+
+func printGrid(results []GridResult, levels []float64, out io.Writer) {
+	w := tw(out)
+	fmt.Fprintln(w, "# Experimental isoefficiency curves (Figures 4/7 style)")
+	for _, res := range results {
+		fmt.Fprintf(w, "\n## scheme %s\n", res.Scheme)
+		fmt.Fprintln(w, "E\tP\tW\tW/(P log2 P)")
+		for _, lv := range levels {
+			for _, pt := range res.Curves[lv] {
+				norm := pt.W / (float64(pt.P) * log2f(pt.P))
+				fmt.Fprintf(w, "%.2f\t%d\t%.0f\t%.1f\n", lv, pt.P, pt.W, norm)
+			}
+			if b, ok := res.Exponents[lv]; ok {
+				fmt.Fprintf(w, "%.2f\tfit\tW ~ (P log P)^%.2f\t\n", lv, b)
+			}
+		}
+		w.Flush()
+		// The paper plots W against P log P per efficiency level; flat
+		// normalised curves confirm O(P log P) isoefficiency.
+		var series []plot.Series
+		for _, lv := range levels {
+			s := plot.Series{Name: fmt.Sprintf("E=%.2f", lv)}
+			for _, pt := range res.Curves[lv] {
+				s.X = append(s.X, float64(pt.P)*log2f(pt.P))
+				s.Y = append(s.Y, pt.W)
+			}
+			series = append(series, s)
+		}
+		fmt.Fprintln(out, plot.Render(plot.Config{
+			Title: res.Scheme, XLabel: "P log2 P", YLabel: "W", LogY: true,
+		}, series...))
+	}
+	w.Flush()
+}
+
+func log2f(p int) float64 {
+	l := 0.0
+	for v := p; v > 1; v >>= 1 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Fig4Labels are the schemes of the paper's Figure 4 panels.
+func Fig4Labels() []string {
+	return []string{"GP-S0.90", "nGP-S0.90", "nGP-S0.80", "nGP-S0.70"}
+}
+
+// Fig7Labels are the schemes of the paper's Figure 7 panels.
+func Fig7Labels() []string {
+	return []string{"GP-DK", "GP-DP", "nGP-DK", "nGP-DP"}
+}
+
+// Fig8Series is one panel of Figure 8: the active-processor count per
+// node-expansion cycle.
+type Fig8Series struct {
+	Label   string
+	LBScale float64
+	Active  []int
+}
+
+// Fig8 reproduces Figure 8: active processors per cycle for GP-D^P and
+// GP-D^K at the measured and at 16x-inflated load-balancing cost.  At the
+// high cost, D^P lets the active count sag far lower between phases than
+// D^K does — the paper's Section 6.1 failure mode.
+func (s *Suite[S]) Fig8(wl Workload[S]) ([]Fig8Series, error) {
+	var series []Fig8Series
+	for _, scale := range []float64{1, 16} {
+		for _, label := range []string{"GP-DP", "GP-DK"} {
+			tr := &trace.Trace{}
+			sch, err := simd.ParseScheme[S](label)
+			if err != nil {
+				return nil, err
+			}
+			opts := simd.Options{P: s.P, Workers: s.Workers, Trace: tr}
+			opts.Costs = simd.CM2Costs()
+			opts.Costs.LBScale = scale
+			if _, err := simd.Run[S](wl.Domain, sch, opts); err != nil {
+				return nil, err
+			}
+			series = append(series, Fig8Series{Label: label, LBScale: scale, Active: tr.ActiveSeries()})
+		}
+	}
+	w := tw(s.Out)
+	fmt.Fprintf(w, "# Figure 8: active processors per cycle on %s (W=%d, P=%d)\n", wl.Name, wl.W, s.P)
+	for _, sr := range series {
+		min := sr.Active[0]
+		for _, a := range sr.Active {
+			if a < min {
+				min = a
+			}
+		}
+		fmt.Fprintf(w, "\n## %s at %.0fx tlb: %d cycles, min active %d\n", sr.Label, sr.LBScale, len(sr.Active), min)
+		w.Flush()
+		ys := make([]float64, len(sr.Active))
+		for i, a := range sr.Active {
+			ys[i] = float64(a)
+		}
+		fmt.Fprintln(s.Out, plot.Line(plot.Config{
+			Title:  fmt.Sprintf("%s @ %.0fx tlb", sr.Label, sr.LBScale),
+			XLabel: "node expansion cycle", YLabel: "active processors",
+		}, ys))
+	}
+	w.Flush()
+	return series, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"simdtree/internal/synthetic"
+)
+
+// TestQuickScaleIntegration runs a slice of the quick-scale suite end to
+// end (seconds, skipped under -short) and asserts the paper's headline
+// numbers hold at that scale: GP-S0.90 and GP-DK reach high efficiency on
+// a 250k-node problem over 256 processors, and nGP trails GP.
+func TestQuickScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale integration skipped in -short mode")
+	}
+	s := &Suite[synthetic.Node]{
+		Workloads: SyntheticWorkloads([]int64{250_000}),
+		P:         256,
+		Workers:   2,
+		Out:       io.Discard,
+	}
+	rows, err := s.Table2([]float64{0.50, 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at90 Table2Row
+	for _, r := range rows {
+		if r.X == 0.90 {
+			at90 = r
+		}
+	}
+	if at90.GP.E < 0.80 {
+		t.Errorf("GP-S0.90 efficiency %.3f at W=250k/P=256, want >= 0.80", at90.GP.E)
+	}
+	if at90.GP.E < at90.NGP.E {
+		t.Errorf("GP (%.3f) below nGP (%.3f) at x=0.9", at90.GP.E, at90.NGP.E)
+	}
+	if at90.GP.Nlb > at90.NGP.Nlb {
+		t.Errorf("GP phases (%d) exceed nGP's (%d)", at90.GP.Nlb, at90.NGP.Nlb)
+	}
+
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := t4[0].GPDK.E; e < 0.80 {
+		t.Errorf("GP-DK efficiency %.3f, want >= 0.80 (dynamic tracks optimal static)", e)
+	}
+}

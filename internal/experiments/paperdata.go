@@ -1,0 +1,97 @@
+package experiments
+
+// The paper's own CM-2 measurements (8192 processors), transcribed from
+// Tables 2, 4 and 5, kept as data so reports can show paper-vs-measured
+// side by side and so tests can verify that the repository's efficiency
+// accounting reproduces the paper's published efficiencies from its
+// published cycle and phase counts.
+
+// PaperCell is one (Nexpand, Nlb-or-transfers, E) measurement.
+type PaperCell struct {
+	Nexpand int
+	Nlb     int
+	E       float64
+}
+
+// PaperTable2Entry is one (W, x) row of the paper's Table 2.
+type PaperTable2Entry struct {
+	W   int64
+	X   float64
+	NGP PaperCell
+	GP  PaperCell
+}
+
+// PaperTable2 is the paper's Table 2: static triggering on 8192 CM-2
+// processors.  Nlb counts load-balancing phases.
+var PaperTable2 = []PaperTable2Entry{
+	{941852, 0.50, PaperCell{198, 54, 0.52}, PaperCell{198, 54, 0.52}},
+	{941852, 0.60, PaperCell{181, 77, 0.53}, PaperCell{174, 59, 0.58}},
+	{941852, 0.70, PaperCell{164, 119, 0.53}, PaperCell{161, 69, 0.60}},
+	{941852, 0.80, PaperCell{151, 138, 0.55}, PaperCell{150, 88, 0.61}},
+	{941852, 0.90, PaperCell{153, 151, 0.52}, PaperCell{142, 122, 0.59}},
+
+	{3055171, 0.50, PaperCell{606, 59, 0.59}, PaperCell{606, 59, 0.59}},
+	{3055171, 0.60, PaperCell{542, 111, 0.63}, PaperCell{535, 62, 0.66}},
+	{3055171, 0.70, PaperCell{459, 234, 0.67}, PaperCell{486, 76, 0.72}},
+	{3055171, 0.80, PaperCell{420, 353, 0.65}, PaperCell{445, 98, 0.77}},
+	{3055171, 0.90, PaperCell{409, 408, 0.64}, PaperCell{417, 152, 0.78}},
+
+	{6073623, 0.50, PaperCell{1155, 56, 0.63}, PaperCell{1155, 56, 0.63}},
+	{6073623, 0.60, PaperCell{1022, 133, 0.69}, PaperCell{1029, 63, 0.70}},
+	{6073623, 0.70, PaperCell{894, 336, 0.71}, PaperCell{936, 78, 0.76}},
+	{6073623, 0.80, PaperCell{809, 577, 0.70}, PaperCell{863, 104, 0.82}},
+	{6073623, 0.90, PaperCell{774, 736, 0.67}, PaperCell{805, 170, 0.85}},
+
+	{16110463, 0.50, PaperCell{2969, 52, 0.66}, PaperCell{2969, 52, 0.66}},
+	{16110463, 0.60, PaperCell{2657, 177, 0.72}, PaperCell{2652, 61, 0.73}},
+	{16110463, 0.70, PaperCell{2339, 655, 0.75}, PaperCell{2422, 75, 0.80}},
+	{16110463, 0.80, PaperCell{2109, 1303, 0.74}, PaperCell{2240, 101, 0.86}},
+	{16110463, 0.90, PaperCell{2015, 1756, 0.71}, PaperCell{2099, 172, 0.91}},
+}
+
+// PaperTable2Xo is the analytic-trigger column of Table 2 per problem
+// size (equation 18 evaluated by the authors).
+var PaperTable2Xo = map[int64]float64{
+	941852:   0.82,
+	3055171:  0.89,
+	6073623:  0.92,
+	16110463: 0.95,
+}
+
+// PaperTable4Entry is one problem-size row of the paper's Table 4.  Nlb
+// in these cells counts work transfers (*Nlb), not phases.
+type PaperTable4Entry struct {
+	W     int64
+	NGPDP PaperCell
+	GPDP  PaperCell
+	NGPDK PaperCell
+	GPDK  PaperCell
+}
+
+// PaperTable4 is the paper's Table 4: dynamic triggering on 8192 CM-2
+// processors.
+var PaperTable4 = []PaperTable4Entry{
+	{941852, PaperCell{153, 164, 0.51}, PaperCell{149, 100, 0.58}, PaperCell{176, 89, 0.53}, PaperCell{164, 70, 0.58}},
+	{3055171, PaperCell{441, 312, 0.64}, PaperCell{426, 143, 0.76}, PaperCell{486, 179, 0.66}, PaperCell{440, 104, 0.77}},
+	{6073623, PaperCell{842, 518, 0.68}, PaperCell{808, 170, 0.83}, PaperCell{905, 285, 0.72}, PaperCell{819, 132, 0.84}},
+	{16110463, PaperCell{2191, 935, 0.75}, PaperCell{2055, 217, 0.92}, PaperCell{2293, 598, 0.76}, PaperCell{2067, 192, 0.92}},
+}
+
+// PaperTable5Entry is one cost-scale row of the paper's Table 5
+// (W = 2067137, GP matching).
+type PaperTable5Entry struct {
+	Scale float64
+	DP    PaperCell
+	DK    PaperCell
+	SXo   PaperCell
+}
+
+// PaperTable5 is the paper's Table 5.
+var PaperTable5 = []PaperTable5Entry{
+	{1, PaperCell{310, 110, 0.69}, PaperCell{314, 83, 0.71}, PaperCell{307, 87, 0.72}},
+	{12, PaperCell{505, 102, 0.26}, PaperCell{487, 44, 0.32}, PaperCell{365, 58, 0.34}},
+	{16, PaperCell{615, 109, 0.20}, PaperCell{533, 45, 0.28}, PaperCell{410, 50, 0.31}},
+}
+
+// PaperTable5W is the problem size of the paper's Table 5 runs.
+const PaperTable5W = 2067137

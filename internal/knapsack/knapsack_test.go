@@ -1,0 +1,129 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+)
+
+func TestHandInstance(t *testing.T) {
+	// Classic example: capacity 10, optimum is items {2,3} = value 9... computed by DP oracle.
+	p := New([]Item{{Weight: 5, Value: 10}, {Weight: 4, Value: 40}, {Weight: 6, Value: 30}, {Weight: 3, Value: 50}}, 10)
+	want := p.OptimalByDP()
+	if want != 90 { // items (4,40) and (3,50): weight 7, value 90
+		t.Fatalf("DP oracle says %d, expected 90", want)
+	}
+	cost, _, ok := search.Optimum[Node](p)
+	if !ok || -cost != want {
+		t.Errorf("DFBB optimum %d, want %d", -cost, want)
+	}
+}
+
+// TestDFBBMatchesDP cross-validates branch-and-bound against the dynamic
+// programming oracle on random instances.
+func TestDFBBMatchesDP(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := Random(16, seed)
+		cost, expanded, ok := search.Optimum[Node](p)
+		if !ok {
+			t.Fatalf("seed %d: no solution (empty set always completes!)", seed)
+		}
+		if want := p.OptimalByDP(); -cost != want {
+			t.Errorf("seed %d: DFBB %d, DP %d", seed, -cost, want)
+		}
+		if expanded <= 0 {
+			t.Errorf("seed %d: no nodes expanded", seed)
+		}
+	}
+}
+
+// TestBoundAdmissible property-checks the fractional bound: it never
+// exceeds (in value terms) the DP optimum of the residual subproblem
+// reachable from the root.
+func TestBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		p := Random(14, rng.Uint64())
+		// At the root, -LowerBound is an upper bound on the achievable value.
+		if ub := -p.LowerBound(p.Root()); ub < p.OptimalByDP() {
+			t.Errorf("trial %d: root bound %d below optimum %d (inadmissible)", trial, ub, p.OptimalByDP())
+		}
+	}
+}
+
+func TestBoundExactWhenAllFit(t *testing.T) {
+	p := New([]Item{{1, 5}, {1, 7}}, 10)
+	if got := -p.LowerBound(p.Root()); got != 12 {
+		t.Errorf("bound %d, want exact 12 when everything fits", got)
+	}
+}
+
+func TestDensitySorting(t *testing.T) {
+	p := New([]Item{{Weight: 10, Value: 10}, {Weight: 1, Value: 9}}, 10)
+	if p.Items[0].Weight != 1 {
+		t.Error("items not sorted by density")
+	}
+}
+
+// TestParallelDFBBFindsOptimum runs DFBB on the SIMD machine: the node
+// count may differ from serial (anomalies), but the optimum must match.
+func TestParallelDFBBFindsOptimum(t *testing.T) {
+	p := Random(20, 7)
+	want := p.OptimalByDP()
+
+	serialCost, serialW, _ := search.Optimum[Node](p)
+	if -serialCost != want {
+		t.Fatalf("serial DFBB %d, DP %d", -serialCost, want)
+	}
+
+	for _, label := range []string{"GP-S0.80", "GP-DK"} {
+		sch, err := simd.ParseScheme[Node](label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := search.NewDFBB[Node](p)
+		st, err := simd.Run[Node](b, sch, simd.Options{P: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := -b.In.Best(); got != want {
+			t.Errorf("%s: parallel optimum %d, want %d", label, got, want)
+		}
+		t.Logf("%s: serial W=%d, parallel W=%d (anomaly ratio %.2f)",
+			label, serialW, st.W, float64(st.W)/float64(serialW))
+	}
+}
+
+// TestCorrelatedInstancesHarder verifies the hard-instance family: on
+// strongly correlated items the fractional bound prunes worse, so DFBB
+// expands more nodes than on uncorrelated instances of the same size.
+func TestCorrelatedInstancesHarder(t *testing.T) {
+	var uncorr, corr int64
+	for seed := uint64(1); seed <= 5; seed++ {
+		_, e1, _ := search.Optimum[Node](Random(20, seed))
+		_, e2, _ := search.Optimum[Node](RandomCorrelated(20, seed))
+		uncorr += e1
+		corr += e2
+	}
+	if corr <= uncorr {
+		t.Errorf("correlated instances expanded %d nodes total vs uncorrelated %d; expected harder", corr, uncorr)
+	}
+	// And the optimum still matches the DP oracle.
+	p := RandomCorrelated(18, 3)
+	cost, _, ok := search.Optimum[Node](p)
+	if !ok || -cost != p.OptimalByDP() {
+		t.Errorf("correlated optimum %d, DP %d", -cost, p.OptimalByDP())
+	}
+}
+
+func BenchmarkSerialDFBB(b *testing.B) {
+	p := Random(24, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := search.Optimum[Node](p); !ok {
+			b.Fatal("no optimum")
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package match_test
+
+import (
+	"fmt"
+
+	"simdtree/internal/match"
+)
+
+// The paper's Figure 2 scenario: eight processors, 6 and 7 idle (paper
+// numbering), everyone else busy.  nGP always matches from the start of
+// the enumeration; GP rotates past its global pointer, spreading the
+// donation burden.
+func Example() {
+	busy := []bool{true, true, true, true, true, false, false, true}
+	idle := []bool{false, false, false, false, false, true, true, false}
+
+	ngp := &match.NGP{}
+	gp := match.NewGP()
+	for phase := 1; phase <= 2; phase++ {
+		fmt.Printf("phase %d: nGP %v  GP %v\n", phase, ngp.Match(busy, idle), gp.Match(busy, idle))
+	}
+	// Output:
+	// phase 1: nGP [{0 5} {1 6}]  GP [{0 5} {1 6}]
+	// phase 2: nGP [{0 5} {1 6}]  GP [{2 5} {3 6}]
+}

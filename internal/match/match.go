@@ -1,0 +1,98 @@
+// Package match implements the two schemes the paper studies for mapping
+// idle processors to busy donors during a load-balancing phase (Section 2):
+//
+//   - nGP — the pre-existing scheme of Powley/Korf/Ferguson and
+//     Mahanti/Daniels: both sets are enumerated from processor 0 and matched
+//     rank-to-rank by rendezvous allocation.  Busy processors early in the
+//     enumeration donate over and over, which drives the phase bound
+//     V(P) <= log^((2x-1)/(1-x)) W (Appendix B).
+//
+//   - GP — the paper's new global-pointer scheme: a pointer remembers the
+//     last donor of the previous phase and the busy enumeration starts just
+//     after it, wrapping around, so the donation burden rotates across the
+//     machine and V(P) <= ceil(1/(1-x)) (Section 4.1).
+//
+// Matchers operate on busy/idle flags only; stacks are split by the engine.
+// A Matcher is deliberately sequential state (the global pointer), matching
+// how the CM-2 host maintained it between phases.
+package match
+
+import "simdtree/internal/scan"
+
+// Matcher pairs idle processors with busy donors for one transfer round.
+type Matcher interface {
+	// Name identifies the scheme ("nGP" or "GP") in reports.
+	Name() string
+	// Match returns donor-to-receiver pairs.  busy[i] reports that
+	// processor i can split its work (at least two stack nodes); idle[i]
+	// that it has none.  Exactly min(#busy, #idle) pairs are returned.
+	Match(busy, idle []bool) []scan.Pair
+	// Reset clears any cross-phase state (the global pointer).
+	Reset()
+}
+
+// NGP is the pointer-free matching scheme of the prior work: enumeration
+// always starts at processor 0.
+type NGP struct{}
+
+// Name implements Matcher.
+func (*NGP) Name() string { return "nGP" }
+
+// Reset implements Matcher; NGP is stateless.
+func (*NGP) Reset() {}
+
+// Match implements Matcher.
+func (*NGP) Match(busy, idle []bool) []scan.Pair {
+	busyRanks, _ := scan.Enumerate(busy)
+	idleRanks, _ := scan.Enumerate(idle)
+	return scan.Rendezvous(busyRanks, idleRanks)
+}
+
+// GP is the paper's global-pointer matching scheme.
+type GP struct {
+	pointer int // last processor that donated work; -1 before the first phase
+	primed  bool
+}
+
+// NewGP returns a GP matcher with the pointer parked before processor 0,
+// so the first phase enumerates from processor 0 exactly like nGP.
+func NewGP() *GP { return &GP{pointer: -1} }
+
+// Name implements Matcher.
+func (g *GP) Name() string { return "GP" }
+
+// Reset implements Matcher, parking the pointer again.
+func (g *GP) Reset() { g.pointer = -1 }
+
+// Match implements Matcher: busy processors are enumerated starting from
+// the first busy processor after the global pointer (wrapping around), the
+// idle ones from processor 0, and ranks are matched by rendezvous.  The
+// pointer then advances to the last processor that donated.
+func (g *GP) Match(busy, idle []bool) []scan.Pair {
+	n := len(busy)
+	if n == 0 {
+		return nil
+	}
+	start := (g.pointer + 1) % n
+	if g.pointer < 0 {
+		start = 0
+	}
+	busyRanks, nBusy := scan.EnumerateFrom(busy, start)
+	idleRanks, nIdle := scan.Enumerate(idle)
+	pairs := scan.Rendezvous(busyRanks, idleRanks)
+	// Advance the pointer to the donor with the highest matched rank.
+	matched := nBusy
+	if nIdle < matched {
+		matched = nIdle
+	}
+	if matched > 0 {
+		last := matched - 1
+		for i, r := range busyRanks {
+			if r == last {
+				g.pointer = i
+				break
+			}
+		}
+	}
+	return pairs
+}

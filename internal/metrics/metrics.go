@@ -1,0 +1,75 @@
+// Package metrics defines the performance accounting of Section 3.1 of the
+// paper.  All times are virtual: the simulator charges the paper's unit
+// costs (a node expansion cycle costs Ucalc, a load-balancing phase tlb) to
+// a deterministic clock, so efficiencies are exactly reproducible and
+// independent of the host machine.
+//
+// The identities the paper relies on hold by construction and are verified
+// by tests:
+//
+//	P * Tpar = Tcalc + Tidle + Tlb
+//	E        = Tcalc / (Tcalc + Tidle + Tlb)
+//	Tcalc    = W * Ucalc
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats aggregates one parallel search run.
+type Stats struct {
+	P int // processors
+
+	W     int64 // problem size: nodes expanded (equals the serial count)
+	Goals int64 // goal nodes found
+
+	Cycles    int // Nexpand: node-expansion cycles
+	LBPhases  int // Nlb: load-balancing phases
+	Transfers int // *Nlb: individual work transfers
+
+	InitCycles int // expansion cycles spent in the initial distribution
+	InitPhases int // LB phases spent in the initial distribution
+
+	Tcalc time.Duration // useful computation, summed over processors (W * Ucalc)
+	Tidle time.Duration // idling during search phases, summed over processors
+	Tlb   time.Duration // load balancing, summed over processors
+	Tpar  time.Duration // parallel (virtual wall-clock) running time
+
+	PeakStack   int // deepest per-processor stack seen, in nodes
+	MaxTransfer int // largest single work transfer, in stack nodes
+}
+
+// Efficiency returns E = Tcalc / (Tcalc + Tidle + Tlb), the paper's
+// effective utilisation of computing resources.
+func (s Stats) Efficiency() float64 {
+	denom := s.Tcalc + s.Tidle + s.Tlb
+	if denom == 0 {
+		return 0
+	}
+	return float64(s.Tcalc) / float64(denom)
+}
+
+// Speedup returns S = Tcalc / Tpar.
+func (s Stats) Speedup() float64 {
+	if s.Tpar == 0 {
+		return 0
+	}
+	return float64(s.Tcalc) / float64(s.Tpar)
+}
+
+// Overhead returns the total non-useful processor-time Tidle + Tlb.
+func (s Stats) Overhead() time.Duration { return s.Tidle + s.Tlb }
+
+// BalanceCheck returns the residual of the accounting identity
+// P*Tpar - (Tcalc + Tidle + Tlb); a correct simulation yields zero.
+func (s Stats) BalanceCheck() time.Duration {
+	return time.Duration(s.P)*s.Tpar - (s.Tcalc + s.Tidle + s.Tlb)
+}
+
+// String summarises the run in one line, mirroring the metrics the paper's
+// tables report.
+func (s Stats) String() string {
+	return fmt.Sprintf("P=%d W=%d Nexpand=%d Nlb=%d transfers=%d E=%.3f speedup=%.1f",
+		s.P, s.W, s.Cycles, s.LBPhases, s.Transfers, s.Efficiency(), s.Speedup())
+}

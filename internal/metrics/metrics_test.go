@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() Stats {
+	// A consistent run: P=4, 10 cycles of 30ms with W=32 expansions (8
+	// idle slots), 2 phases of 13ms.
+	return Stats{
+		P:        4,
+		W:        32,
+		Cycles:   10,
+		LBPhases: 2,
+		Tcalc:    32 * 30 * time.Millisecond,
+		Tidle:    8 * 30 * time.Millisecond,
+		Tlb:      4 * 2 * 13 * time.Millisecond,
+		Tpar:     (10*30 + 2*13) * time.Millisecond,
+	}
+}
+
+func TestAccountingIdentity(t *testing.T) {
+	s := sample()
+	if res := s.BalanceCheck(); res != 0 {
+		t.Errorf("identity residual %v, want 0", res)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	s := sample()
+	want := float64(s.Tcalc) / float64(s.Tcalc+s.Tidle+s.Tlb)
+	if got := s.Efficiency(); got != want {
+		t.Errorf("E = %v, want %v", got, want)
+	}
+	if (Stats{}).Efficiency() != 0 {
+		t.Error("zero stats should have zero efficiency")
+	}
+}
+
+func TestEfficiencyMatchesPaperFormula(t *testing.T) {
+	// Table 2, first cell: W=941852, P=8192, Nexpand=198, Nlb=54,
+	// Ucalc=30ms, tlb=13ms => E=0.52.
+	ucalc := 30 * time.Millisecond
+	tlb := 13 * time.Millisecond
+	s := Stats{
+		P:     8192,
+		W:     941852,
+		Tcalc: 941852 * ucalc,
+		Tpar:  198*ucalc + 54*tlb,
+	}
+	s.Tlb = time.Duration(s.P) * 54 * tlb
+	s.Tidle = time.Duration(s.P)*s.Tpar - s.Tcalc - s.Tlb
+	if e := s.Efficiency(); e < 0.515 || e > 0.525 {
+		t.Errorf("E = %.4f, the paper reports 0.52", e)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := sample()
+	if got, want := s.Speedup(), float64(s.Tcalc)/float64(s.Tpar); got != want {
+		t.Errorf("speedup %v, want %v", got, want)
+	}
+	if (Stats{}).Speedup() != 0 {
+		t.Error("zero stats should have zero speedup")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	s := sample()
+	if s.Overhead() != s.Tidle+s.Tlb {
+		t.Error("Overhead mismatch")
+	}
+}
+
+func TestString(t *testing.T) {
+	str := sample().String()
+	for _, frag := range []string{"P=4", "W=32", "Nexpand=10", "Nlb=2", "E=0."} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() = %q, missing %q", str, frag)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package mimd
+
+import (
+	"testing"
+
+	"simdtree/internal/search"
+	"simdtree/internal/synthetic"
+)
+
+// TestWorkConservation verifies that every policy expands exactly the
+// serial node count: work stealing moves nodes, never duplicates or drops
+// them.
+func TestWorkConservation(t *testing.T) {
+	tree := synthetic.New(30000, 5)
+	serial := search.DFS[synthetic.Node](tree)
+	for _, pol := range []Policy{GRR, ARR, RP} {
+		stats, err := Run[synthetic.Node](tree, Options{P: 32, Policy: pol, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if stats.W != serial.Expanded {
+			t.Errorf("%v: W=%d, serial=%d", pol, stats.W, serial.Expanded)
+		}
+		if e := stats.Efficiency(); e <= 0 || e > 1 {
+			t.Errorf("%v: efficiency %f out of range", pol, e)
+		}
+		if stats.StealSuccesses == 0 {
+			t.Errorf("%v: no successful steals on a 32-processor run", pol)
+		}
+		if stats.StealSuccesses > stats.StealAttempts {
+			t.Errorf("%v: more successes (%d) than attempts (%d)", pol, stats.StealSuccesses, stats.StealAttempts)
+		}
+	}
+}
+
+// TestSingleProcessor checks the degenerate machine: everything is useful
+// computation, efficiency 1.
+func TestSingleProcessor(t *testing.T) {
+	tree := synthetic.New(500, 5)
+	stats, err := Run[synthetic.Node](tree, Options{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.W != 500 {
+		t.Errorf("W=%d, want 500", stats.W)
+	}
+	if e := stats.Efficiency(); e < 0.999 {
+		t.Errorf("efficiency %f, want ~1", e)
+	}
+}
+
+// TestDeterminism verifies repeated runs agree bit-for-bit.
+func TestDeterminism(t *testing.T) {
+	tree := synthetic.New(10000, 77)
+	a, err := Run[synthetic.Node](tree, Options{P: 16, Policy: RP, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run[synthetic.Node](tree, Options{P: 16, Policy: RP, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,37 @@
+package puzzle
+
+import "testing"
+
+// FuzzFromTiles feeds arbitrary boards to the validator: it must accept
+// exactly the solvable permutations and never panic.
+func FuzzFromTiles(f *testing.F) {
+	goal := Goal()
+	f.Add(goal.Tiles[:])
+	scr := Scramble(9, 40)
+	f.Add(scr.Tiles[:])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) != Cells {
+			return
+		}
+		var tiles [Cells]uint8
+		copy(tiles[:], raw)
+		n, err := FromTiles(tiles)
+		if err != nil {
+			return
+		}
+		// Accepted boards are valid permutations with a consistent H.
+		if int(n.H) != manhattan(n.Tiles) {
+			t.Errorf("H=%d inconsistent with board", n.H)
+		}
+		if !Solvable(n.Tiles) {
+			t.Error("FromTiles accepted an unsolvable board")
+		}
+		// And expansion from them stays well-formed.
+		d := NewDomain(n)
+		for _, c := range d.Expand(n, nil) {
+			if int(c.H) != manhattan(c.Tiles) {
+				t.Error("child H inconsistent")
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package puzzle
+
+// Linear-conflict enhancement (Hansson, Mayer & Yung): two tiles that sit
+// in their goal row (or column) but in reversed order must pass each
+// other, costing at least two extra moves beyond their Manhattan
+// distances.  MD + LC remains admissible and consistent, so IDA* stays
+// optimal while expanding fewer nodes — a drop-in stronger heuristic for
+// users who care about W more than per-node cost.
+
+// LinearConflict returns the linear-conflict correction for a layout: for
+// every row and column, two moves per tile in the minimum set whose
+// removal leaves the line conflict-free.  Counting raw conflicting pairs
+// would overestimate (one tile can block several others yet needs to
+// step aside only once), breaking admissibility and consistency; the
+// minimum-removal formulation keeps both, and with at most four tiles
+// per line it is computed exactly by subset enumeration.
+func LinearConflict(tiles [Cells]uint8) int {
+	removals := 0
+	// Rows: tiles whose goal position lies in the same row.
+	for r := 0; r < Side; r++ {
+		var goals [Side]int
+		k := 0
+		for i := 0; i < Side; i++ {
+			a := tiles[r*Side+i]
+			if a != 0 && int(a)/Side == r {
+				goals[k] = int(a) % Side
+				k++
+			}
+		}
+		removals += minRemovals(goals[:k])
+	}
+	// Columns, symmetrically.
+	for c := 0; c < Side; c++ {
+		var goals [Side]int
+		k := 0
+		for i := 0; i < Side; i++ {
+			a := tiles[i*Side+c]
+			if a != 0 && int(a)%Side == c {
+				goals[k] = int(a) / Side
+				k++
+			}
+		}
+		removals += minRemovals(goals[:k])
+	}
+	return 2 * removals
+}
+
+// minRemovals returns the smallest number of elements to delete from
+// goals so the remainder is non-decreasing (i.e. no reversed pair).
+// Equivalently, len - longest increasing subsequence; with at most four
+// elements, subset enumeration is cheapest.
+func minRemovals(goals []int) int {
+	n := len(goals)
+	if n < 2 {
+		return 0
+	}
+	best := n - 1 // keeping one element always works
+	for keep := 1; keep < 1<<n; keep++ {
+		prev := -1
+		ok := true
+		kept := 0
+		for i := 0; i < n; i++ {
+			if keep&(1<<i) == 0 {
+				continue
+			}
+			if goals[i] < prev {
+				ok = false
+				break
+			}
+			prev = goals[i]
+			kept++
+		}
+		if ok && n-kept < best {
+			best = n - kept
+		}
+	}
+	return best
+}
+
+// LCDomain is the 15-puzzle domain with the Manhattan-distance +
+// linear-conflict bound.  Expansion is identical to Domain (H in the
+// nodes stays the incrementally maintained Manhattan distance); only the
+// f-bound used for pruning gets stronger.
+type LCDomain struct {
+	Domain
+}
+
+// NewDomainLC returns the linear-conflict search domain rooted at start.
+func NewDomainLC(start Node) *LCDomain {
+	return &LCDomain{Domain{Start: start}}
+}
+
+// F implements search.CostDomain with the tighter bound g + MD + LC.
+func (d *LCDomain) F(n Node) int {
+	return int(n.G) + int(n.H) + LinearConflict(n.Tiles)
+}

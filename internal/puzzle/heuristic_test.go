@@ -1,0 +1,152 @@
+package puzzle
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdtree/internal/search"
+)
+
+func TestLinearConflictGoalIsZero(t *testing.T) {
+	if lc := LinearConflict(Goal().Tiles); lc != 0 {
+		t.Errorf("LC(goal) = %d, want 0", lc)
+	}
+}
+
+func TestLinearConflictKnownCases(t *testing.T) {
+	// Swap tiles 1 and 2 within the top row (both in goal row 0, order
+	// reversed): one row conflict = +2.  The swap also changes
+	// permutation parity, so this layout is merely a heuristic probe,
+	// not necessarily reachable — LC is defined for any layout.
+	tiles := Goal().Tiles
+	tiles[1], tiles[2] = tiles[2], tiles[1]
+	if lc := LinearConflict(tiles); lc != 2 {
+		t.Errorf("one reversed row pair: LC = %d, want 2", lc)
+	}
+	// Swap tiles 4 and 8 (both in goal column 0, rows 1 and 2): one
+	// column conflict.
+	tiles = Goal().Tiles
+	tiles[4], tiles[8] = tiles[8], tiles[4]
+	if lc := LinearConflict(tiles); lc != 2 {
+		t.Errorf("one reversed column pair: LC = %d, want 2", lc)
+	}
+	// Fully reversed top row (1,2,3 -> 3,2,1): three pairwise conflicts.
+	tiles = Goal().Tiles
+	tiles[1], tiles[3] = tiles[3], tiles[1]
+	if lc := LinearConflict(tiles); lc != 2*2 {
+		// (3,2), (3,1) conflict via tile 3; (2,1) conflict... swapped 1
+		// and 3 only: pairs (3,2), (3,1), (2,1): 3 and 2 reversed, 3 and
+		// 1 reversed, 2 and 1 in order -> 2 conflicts.
+		t.Errorf("reversed outer pair: LC = %d, want 4", lc)
+	}
+}
+
+// TestLCAdmissibleOnScrambles: g + MD + LC never exceeds the known
+// solution-length upper bound (the scramble walk length).
+func TestLCAdmissibleOnScrambles(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		k := rng.Intn(40)
+		n := Scramble(rng.Uint64(), k)
+		if h := int(n.H) + LinearConflict(n.Tiles); h > k {
+			t.Fatalf("MD+LC = %d exceeds scramble length %d: inadmissible", h, k)
+		}
+	}
+}
+
+// TestLCConsistent: the bound changes by at most 1 per unit-cost move
+// (f is monotone non-decreasing along edges).
+func TestLCConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := Scramble(rng.Uint64(), rng.Intn(60))
+		d := NewDomainLC(n)
+		fn := d.F(n)
+		for _, c := range d.Domain.Expand(n, nil) {
+			if d.F(c) < fn {
+				t.Fatalf("f decreased along an edge: %d -> %d (inconsistent)", fn, d.F(c))
+			}
+		}
+	}
+}
+
+// TestLCFindsSameOptimumWithFewerNodes: on the same instance, IDA* with
+// MD+LC reaches the same optimal bound as plain MD while expanding no
+// more nodes.
+func TestLCFindsSameOptimumWithFewerNodes(t *testing.T) {
+	for seed := uint64(30); seed < 36; seed++ {
+		inst := Scramble(seed, 24)
+		md := search.IDAStar[Node](NewDomain(inst), 0)
+		lc := search.IDAStar[Node](NewDomainLC(inst), 0)
+		if md.Bound != lc.Bound {
+			t.Errorf("seed %d: MD bound %d, LC bound %d", seed, md.Bound, lc.Bound)
+		}
+		if lc.Expanded > md.Expanded {
+			t.Errorf("seed %d: LC expanded more (%d) than MD (%d)", seed, lc.Expanded, md.Expanded)
+		}
+	}
+}
+
+func TestSolveProducesOptimalVerifiedPaths(t *testing.T) {
+	for seed := uint64(40); seed < 48; seed++ {
+		inst := Scramble(seed, 22)
+		moves, bound, ok := Solve(inst, 0)
+		if !ok {
+			t.Fatalf("seed %d: no solution", seed)
+		}
+		if len(moves) != bound {
+			t.Errorf("seed %d: path length %d != bound %d", seed, len(moves), bound)
+		}
+		end, legal := Apply(inst, moves)
+		if !legal {
+			t.Fatalf("seed %d: illegal move in solution", seed)
+		}
+		if end.H != 0 {
+			t.Errorf("seed %d: path does not reach the goal", seed)
+		}
+		// Cross-check optimality against the IDA* node-count search.
+		ref := search.IDAStar[Node](NewDomainLC(inst), 0)
+		if bound != ref.Bound {
+			t.Errorf("seed %d: Solve bound %d, IDA* bound %d", seed, bound, ref.Bound)
+		}
+	}
+}
+
+func TestSolveAtGoal(t *testing.T) {
+	moves, bound, ok := Solve(Goal(), 0)
+	if !ok || bound != 0 || len(moves) != 0 {
+		t.Errorf("Solve(goal) = %v, %d, %v", moves, bound, ok)
+	}
+}
+
+func TestSolveRespectsMaxBound(t *testing.T) {
+	inst := Scramble(50, 40)
+	if _, _, ok := Solve(inst, 4); ok {
+		t.Error("Solve found a solution within an impossible bound")
+	}
+}
+
+func TestApplyRejectsIllegalMoves(t *testing.T) {
+	// Blank at the top-left corner cannot move up.
+	if _, ok := Apply(Goal(), []uint8{MoveUp}); ok {
+		t.Error("illegal move accepted")
+	}
+}
+
+func BenchmarkLinearConflict(b *testing.B) {
+	n := Scramble(7, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LinearConflict(n.Tiles)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	inst := Scramble(7, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Solve(inst, 0); !ok {
+			b.Fatal("unsolved")
+		}
+	}
+}

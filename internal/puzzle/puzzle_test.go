@@ -1,0 +1,227 @@
+package puzzle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simdtree/internal/search"
+)
+
+func TestGoal(t *testing.T) {
+	g := Goal()
+	if g.H != 0 || g.Blank != 0 || g.G != 0 {
+		t.Fatalf("goal state malformed: %+v", g)
+	}
+	d := NewDomain(g)
+	if !d.Goal(g) {
+		t.Error("goal state not recognised")
+	}
+	if d.F(g) != 0 {
+		t.Errorf("F(goal) = %d, want 0", d.F(g))
+	}
+}
+
+func TestFromTilesValidation(t *testing.T) {
+	var tiles [Cells]uint8
+	for i := range tiles {
+		tiles[i] = uint8(i)
+	}
+	if _, err := FromTiles(tiles); err != nil {
+		t.Errorf("goal layout rejected: %v", err)
+	}
+	// Duplicate tile.
+	bad := tiles
+	bad[1] = 2
+	if _, err := FromTiles(bad); err == nil {
+		t.Error("duplicate tile accepted")
+	}
+	// Swapping two tiles flips solvability.
+	swapped := tiles
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+	if _, err := FromTiles(swapped); err == nil {
+		t.Error("unsolvable layout accepted")
+	}
+}
+
+func TestSolvableParity(t *testing.T) {
+	var tiles [Cells]uint8
+	for i := range tiles {
+		tiles[i] = uint8(i)
+	}
+	if !Solvable(tiles) {
+		t.Fatal("goal must be solvable")
+	}
+	// A single transposition of two tiles makes it unsolvable.
+	tiles[5], tiles[6] = tiles[6], tiles[5]
+	if Solvable(tiles) {
+		t.Error("odd permutation reported solvable")
+	}
+	// A second transposition restores solvability.
+	tiles[9], tiles[10] = tiles[10], tiles[9]
+	if !Solvable(tiles) {
+		t.Error("even permutation reported unsolvable")
+	}
+}
+
+// TestScrambleAlwaysSolvable property-checks that random walks stay in the
+// solvable half of the position space.
+func TestScrambleAlwaysSolvable(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		n := Scramble(seed, int(steps%60))
+		return Solvable(n.Tiles) && n.G == 0 && n.Prev == NoMove
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalManhattan property-checks that the H maintained move by
+// move equals the Manhattan distance recomputed from scratch.
+func TestIncrementalManhattan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := NewDomain(Goal())
+	for trial := 0; trial < 300; trial++ {
+		n := Scramble(rng.Uint64(), rng.Intn(80))
+		if int(n.H) != manhattan(n.Tiles) {
+			t.Fatalf("incremental H=%d, full recompute=%d for\n%v", n.H, manhattan(n.Tiles), n)
+		}
+		// And one more level of successors.
+		for _, c := range d.Expand(n, nil) {
+			if int(c.H) != manhattan(c.Tiles) {
+				t.Fatalf("child H=%d, recompute=%d", c.H, manhattan(c.Tiles))
+			}
+		}
+	}
+}
+
+// TestHeuristicAdmissibleAndConsistent checks h(goal)=0, h drops by at
+// most 1 per move (consistency), and never exceeds the true distance on
+// instances with a known upper bound (admissibility witness: a scramble of
+// k moves has optimal solution <= k, so h(root) <= k).
+func TestHeuristicAdmissibleAndConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDomain(Goal())
+	for trial := 0; trial < 200; trial++ {
+		k := rng.Intn(40)
+		n := Scramble(rng.Uint64(), k)
+		if int(n.H) > k {
+			t.Fatalf("h(root)=%d exceeds scramble length %d: heuristic inadmissible", n.H, k)
+		}
+		for _, c := range d.Expand(n, nil) {
+			dh := int(c.H) - int(n.H)
+			if dh < -1 || dh > 1 {
+				t.Fatalf("h changed by %d on one move: inconsistent", dh)
+			}
+		}
+	}
+}
+
+func TestExpandAvoidsInverse(t *testing.T) {
+	d := NewDomain(Goal())
+	root := d.Root()
+	children := d.Expand(root, nil)
+	// Blank at corner: 2 legal moves from the root.
+	if len(children) != 2 {
+		t.Fatalf("root has %d successors, want 2", len(children))
+	}
+	for _, c := range children {
+		grand := d.Expand(c, nil)
+		for _, g := range grand {
+			if g.Tiles == root.Tiles {
+				t.Error("expansion generated the parent (inverse move not pruned)")
+			}
+		}
+		// All non-inverse legal moves are present: at most 3.
+		if len(grand) > 3 {
+			t.Errorf("non-root node has %d successors, want <= 3", len(grand))
+		}
+	}
+}
+
+func TestExpandGIncrements(t *testing.T) {
+	d := NewDomain(Goal())
+	for _, c := range d.Expand(d.Root(), nil) {
+		if c.G != 1 {
+			t.Errorf("child G=%d, want 1", c.G)
+		}
+	}
+}
+
+// TestIDAStarOptimality verifies that IDA* finds solutions of length at
+// most the scramble walk, and exactly h(root) when the heuristic is tight.
+func TestIDAStarOptimality(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		k := 14
+		inst := Scramble(seed, k)
+		d := NewDomain(inst)
+		r := search.IDAStar[Node](d, 0)
+		if r.Goals == 0 {
+			t.Fatalf("seed %d: no solution found", seed)
+		}
+		if r.Bound > k {
+			t.Errorf("seed %d: optimal bound %d exceeds scramble length %d", seed, r.Bound, k)
+		}
+		if r.Bound < int(inst.H) {
+			t.Errorf("seed %d: bound %d below heuristic %d (inadmissible search)", seed, r.Bound, inst.H)
+		}
+		if r.Bound%2 != int(inst.H)%2 {
+			t.Errorf("seed %d: bound parity %d does not match heuristic parity %d", seed, r.Bound, inst.H)
+		}
+	}
+}
+
+// TestSolvedInstantly checks the degenerate start-at-goal search.
+func TestSolvedInstantly(t *testing.T) {
+	r := search.IDAStar[Node](NewDomain(Goal()), 0)
+	if r.Bound != 0 || r.Goals == 0 {
+		t.Errorf("goal-start search: bound=%d goals=%d", r.Bound, r.Goals)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Goal().String()
+	if !strings.Contains(s, "__") {
+		t.Error("blank not rendered")
+	}
+	if !strings.Contains(s, "15") {
+		t.Error("tile 15 not rendered")
+	}
+	if strings.Count(s, "\n") != Side {
+		t.Errorf("expected %d lines, got %q", Side, s)
+	}
+}
+
+func TestScrambleDeterminism(t *testing.T) {
+	a := Scramble(1234, 50)
+	b := Scramble(1234, 50)
+	if a != b {
+		t.Error("Scramble is not deterministic")
+	}
+	c := Scramble(1235, 50)
+	if a == c {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+// TestBoundedSearchMonotone checks that the bounded search size grows with
+// the bound — the property the workload calibration relies on.
+func TestBoundedSearchMonotone(t *testing.T) {
+	d := NewDomain(Scramble(5, 30))
+	prev := int64(-1)
+	bound := d.F(d.Root())
+	for i := 0; i < 4; i++ {
+		b := search.NewBounded[Node](d, bound)
+		r := search.DFS[Node](b)
+		if r.Expanded < prev {
+			t.Errorf("bounded search shrank: %d -> %d at bound %d", prev, r.Expanded, bound)
+		}
+		prev = r.Expanded
+		next, ok := b.NextBound()
+		if !ok {
+			break
+		}
+		bound = next
+	}
+}

@@ -1,0 +1,77 @@
+package puzzle
+
+// Solve runs serial IDA* with path reconstruction and returns an optimal
+// move sequence from start to the goal (moves name the direction the
+// blank slides).  It is the library's user-facing solver: the SIMD engine
+// answers "how much work, how fast in parallel"; Solve answers "what are
+// the moves".  ok is false only if maxBound is exceeded before a solution
+// appears.
+func Solve(start Node, maxBound int) (moves []uint8, bound int, ok bool) {
+	start.G = 0
+	start.Prev = NoMove
+	bound = int(start.H) + LinearConflict(start.Tiles)
+	if maxBound <= 0 {
+		maxBound = 80 // no 15-puzzle position needs more
+	}
+	path := make([]uint8, 0, maxBound)
+	for bound <= maxBound {
+		next, found := solveDFS(start, bound, &path)
+		if found {
+			out := make([]uint8, len(path))
+			copy(out, path)
+			return out, bound, true
+		}
+		if next <= bound {
+			return nil, bound, false // exhausted without a solution
+		}
+		bound = next
+	}
+	return nil, bound, false
+}
+
+// solveDFS is the bounded depth-first search of one IDA* iteration; it
+// reports the smallest pruned f and whether a solution was found, with
+// the move path accumulating in *path.
+func solveDFS(n Node, bound int, path *[]uint8) (nextBound int, found bool) {
+	f := int(n.G) + int(n.H) + LinearConflict(n.Tiles)
+	if f > bound {
+		return f, false
+	}
+	if n.H == 0 {
+		return f, true
+	}
+	nextBound = int(^uint(0) >> 1) // max int
+	for m := uint8(0); m < 4; m++ {
+		if n.Prev != NoMove && m == inverse[n.Prev] {
+			continue
+		}
+		child, legal := apply(n, m)
+		if !legal {
+			continue
+		}
+		*path = append(*path, m)
+		nb, ok := solveDFS(child, bound, path)
+		if ok {
+			return nb, true
+		}
+		*path = (*path)[:len(*path)-1]
+		if nb < nextBound {
+			nextBound = nb
+		}
+	}
+	return nextBound, false
+}
+
+// Apply replays a move sequence from n, reporting the final position and
+// whether every move was legal.  It verifies solver output and lets
+// examples animate solutions.
+func Apply(n Node, moves []uint8) (Node, bool) {
+	for _, m := range moves {
+		next, ok := apply(n, m)
+		if !ok {
+			return n, false
+		}
+		n = next
+	}
+	return n, true
+}

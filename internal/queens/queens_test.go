@@ -1,0 +1,77 @@
+package queens
+
+import (
+	"testing"
+
+	"simdtree/internal/search"
+)
+
+// Known solution counts for N-queens.
+var solutions = map[int]int64{
+	1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724,
+}
+
+func TestSolutionCounts(t *testing.T) {
+	for n, want := range solutions {
+		r := search.DFS[Node](New(n))
+		if r.Goals != want {
+			t.Errorf("N=%d: %d solutions, want %d", n, r.Goals, want)
+		}
+	}
+}
+
+func TestNodeCountsGrow(t *testing.T) {
+	prev := int64(0)
+	for n := 4; n <= 10; n++ {
+		r := search.DFS[Node](New(n))
+		if r.Expanded <= prev {
+			t.Errorf("N=%d: %d nodes, expected growth past %d", n, r.Expanded, prev)
+		}
+		prev = r.Expanded
+	}
+}
+
+func TestExpandRespectsAttacks(t *testing.T) {
+	d := New(8)
+	root := d.Root()
+	level1 := d.Expand(root, nil)
+	if len(level1) != 8 {
+		t.Fatalf("first row has %d placements, want 8", len(level1))
+	}
+	// After placing in column 0, the second row cannot use columns 0 or 1.
+	level2 := d.Expand(level1[0], nil)
+	for _, n := range level2 {
+		col := -1
+		for c := 0; c < 8; c++ {
+			if n.Cols&(1<<c) != 0 && c != 0 {
+				col = c
+			}
+		}
+		if col == 0 || col == 1 {
+			t.Errorf("second-row placement in attacked column %d", col)
+		}
+	}
+	if len(level2) != 6 {
+		t.Errorf("second row has %d placements, want 6", len(level2))
+	}
+}
+
+func TestGoalOnlyAtFullBoard(t *testing.T) {
+	d := New(4)
+	if d.Goal(d.Root()) {
+		t.Error("empty board is not a solution")
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}

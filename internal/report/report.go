@@ -1,0 +1,85 @@
+// Package report builds the markdown experiment report (EXPERIMENTS.md):
+// a document with one section per reproduced table and figure, each
+// holding a measured-results table and a paper-vs-measured verdict.  The
+// experiment harness fills it from typed experiment rows, so the report
+// regenerates from a single command.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Doc is a markdown document under construction.
+type Doc struct {
+	b strings.Builder
+}
+
+// New starts a document with a top-level title.
+func New(title string) *Doc {
+	d := &Doc{}
+	fmt.Fprintf(&d.b, "# %s\n", title)
+	return d
+}
+
+// Para appends a heading-less paragraph.
+func (d *Doc) Para(format string, args ...any) {
+	fmt.Fprintf(&d.b, "\n%s\n", fmt.Sprintf(format, args...))
+}
+
+// Section appends a second-level heading.
+func (d *Doc) Section(heading string) {
+	fmt.Fprintf(&d.b, "\n## %s\n", heading)
+}
+
+// Subsection appends a third-level heading.
+func (d *Doc) Subsection(heading string) {
+	fmt.Fprintf(&d.b, "\n### %s\n", heading)
+}
+
+// Table appends a markdown table.  Every row must have len(header) cells;
+// shorter rows are padded, longer ones truncated.
+func (d *Doc) Table(header []string, rows [][]string) {
+	if len(header) == 0 {
+		return
+	}
+	d.b.WriteString("\n|")
+	for _, h := range header {
+		d.b.WriteString(" " + escape(h) + " |")
+	}
+	d.b.WriteString("\n|")
+	for range header {
+		d.b.WriteString("---|")
+	}
+	d.b.WriteString("\n")
+	for _, row := range rows {
+		d.b.WriteString("|")
+		for i := range header {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			d.b.WriteString(" " + escape(cell) + " |")
+		}
+		d.b.WriteString("\n")
+	}
+}
+
+// Verdict appends a bolded paper-vs-measured verdict line.
+func (d *Doc) Verdict(format string, args ...any) {
+	fmt.Fprintf(&d.b, "\n**Verdict:** %s\n", fmt.Sprintf(format, args...))
+}
+
+// Code appends a fenced code block (used for the ASCII figure panels).
+func (d *Doc) Code(body string) {
+	fmt.Fprintf(&d.b, "\n```\n%s```\n", strings.TrimRight(body, "\n")+"\n")
+}
+
+// String returns the assembled markdown.
+func (d *Doc) String() string { return d.b.String() }
+
+// escape keeps table cells from breaking markdown structure.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDocStructure(t *testing.T) {
+	d := New("Reproduction")
+	d.Section("Table 2")
+	d.Para("Static triggering on %d processors.", 8192)
+	d.Table([]string{"W", "x", "E"}, [][]string{
+		{"941852", "0.50", "0.52"},
+		{"3055171", "0.60"}, // short row padded
+	})
+	d.Verdict("matches the paper's shape")
+	d.Code("chart body\n")
+	out := d.String()
+
+	for _, frag := range []string{
+		"# Reproduction",
+		"## Table 2",
+		"8192 processors",
+		"| W | x | E |",
+		"|---|---|---|",
+		"| 941852 | 0.50 | 0.52 |",
+		"| 3055171 | 0.60 |  |",
+		"**Verdict:** matches",
+		"```\nchart body\n```",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("document missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	d := New("t")
+	d.Table([]string{"a|b"}, [][]string{{"x\ny"}})
+	out := d.String()
+	if !strings.Contains(out, `a\|b`) {
+		t.Error("pipe not escaped in header")
+	}
+	if strings.Contains(out, "x\ny") {
+		t.Error("newline not flattened in cell")
+	}
+}
+
+func TestEmptyTableIgnored(t *testing.T) {
+	d := New("t")
+	d.Table(nil, nil)
+	if strings.Contains(d.String(), "|") {
+		t.Error("empty table emitted")
+	}
+}
+
+func TestSubsection(t *testing.T) {
+	d := New("t")
+	d.Subsection("panel a")
+	if !strings.Contains(d.String(), "### panel a") {
+		t.Error("subsection missing")
+	}
+}

@@ -1,0 +1,212 @@
+// Package scan implements the parallel-prefix (scan) primitives the paper's
+// load-balancing setup step is built from (Blelloch, "Scans as Primitive
+// Parallel Operations", 1989): prefix sums, flag enumeration, reductions and
+// the rendezvous allocation scheme of Hillis used to match idle processors
+// with busy ones.
+//
+// Two implementations of the prefix sum are provided: a sequential one and a
+// logarithmic-depth tree walk mirroring how a hypercube or the CM-2 scan
+// hardware evaluates it.  They produce identical results (property-tested);
+// the tree version exists so the number of parallel steps can be inspected
+// and so the package documents the algorithm the cost model charges for.
+package scan
+
+// PrefixSum returns the exclusive prefix sum of xs: out[i] is the sum of
+// xs[0..i-1], with out[0] == 0.  The input is not modified.
+func PrefixSum(xs []int) []int {
+	out := make([]int, len(xs))
+	sum := 0
+	for i, x := range xs {
+		out[i] = sum
+		sum += x
+	}
+	return out
+}
+
+// InclusivePrefixSum returns the inclusive prefix sum of xs: out[i] is the
+// sum of xs[0..i].
+func InclusivePrefixSum(xs []int) []int {
+	out := make([]int, len(xs))
+	sum := 0
+	for i, x := range xs {
+		sum += x
+		out[i] = sum
+	}
+	return out
+}
+
+// TreePrefixSum computes the same exclusive prefix sum as PrefixSum using
+// the work-efficient up-sweep/down-sweep tree algorithm (Blelloch 1989).
+// It returns the result together with the number of parallel steps a
+// machine with one processor per element would need (2*ceil(log2 n)).
+func TreePrefixSum(xs []int) (out []int, steps int) {
+	n := len(xs)
+	out = make([]int, n)
+	copy(out, xs)
+	if n == 0 {
+		return out, 0
+	}
+	// Round up to a power of two; the tail is padded with zeros.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	buf := make([]int, size)
+	copy(buf, out)
+
+	// Up-sweep: build partial sums.
+	for d := 1; d < size; d <<= 1 {
+		for i := 2*d - 1; i < size; i += 2 * d {
+			buf[i] += buf[i-d]
+		}
+		steps++
+	}
+	// Down-sweep: convert to exclusive prefix sums.
+	buf[size-1] = 0
+	for d := size / 2; d >= 1; d >>= 1 {
+		for i := 2*d - 1; i < size; i += 2 * d {
+			left := buf[i-d]
+			buf[i-d] = buf[i]
+			buf[i] += left
+		}
+		steps++
+	}
+	copy(out, buf[:n])
+	return out, steps
+}
+
+// Enumerate ranks the set positions of flags: ranks[i] is the number of set
+// flags strictly before position i when flags[i] is set, and -1 otherwise.
+// The total count of set flags is returned as well.  This is the
+// "enumeration" the paper performs on both the idle and the busy processor
+// sets during the load-balancing setup step.
+func Enumerate(flags []bool) (ranks []int, count int) {
+	ranks = make([]int, len(flags))
+	for i, f := range flags {
+		if f {
+			ranks[i] = count
+			count++
+		} else {
+			ranks[i] = -1
+		}
+	}
+	return ranks, count
+}
+
+// EnumerateFrom ranks the set positions of flags starting the enumeration
+// at position start and wrapping around, so the first set flag at or after
+// start receives rank 0.  This is the rotated enumeration underlying the
+// paper's GP (global-pointer) matching scheme.
+func EnumerateFrom(flags []bool, start int) (ranks []int, count int) {
+	n := len(flags)
+	ranks = make([]int, n)
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	if n == 0 {
+		return ranks, 0
+	}
+	start = ((start % n) + n) % n
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if flags[i] {
+			ranks[i] = count
+			count++
+		}
+	}
+	return ranks, count
+}
+
+// Sum reduces xs by addition.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Count returns the number of set flags, the reduction the trigger check
+// performs every node-expansion cycle to obtain the active count A.
+func Count(flags []bool) int {
+	c := 0
+	for _, f := range flags {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// Max returns the maximum of xs and true, or zero and false for an empty
+// slice.
+func Max(xs []int) (int, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, true
+}
+
+// MinNonNeg returns the smallest non-negative element of xs and true, or
+// zero and false when there is none.  Parallel IDA* uses it to combine the
+// per-processor next-iteration cost bounds (-1 marking "none").
+func MinNonNeg(xs []int) (int, bool) {
+	best, ok := 0, false
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if !ok || x < best {
+			best, ok = x, true
+		}
+	}
+	return best, ok
+}
+
+// Pair records that donor busy processor From sends work to idle processor
+// To during a load-balancing phase.
+type Pair struct {
+	From int // donor (busy) processor id
+	To   int // receiver (idle) processor id
+}
+
+// Rendezvous matches busy processors to idle processors one-on-one using
+// the rendezvous allocation scheme described by Hillis: both sets are
+// enumerated, and the busy processor with rank r is matched to the idle
+// processor with the same rank r.  busyRanks and idleRanks must come from
+// Enumerate or EnumerateFrom over slices of equal length.  When the two
+// sets have different sizes only the first min(|busy|, |idle|) of each are
+// matched, exactly as in the paper (if I > A, the remaining I-A idle
+// processors receive no work).
+func Rendezvous(busyRanks, idleRanks []int) []Pair {
+	if len(busyRanks) != len(idleRanks) {
+		panic("scan: rank slices of unequal length")
+	}
+	// Invert the idle enumeration: idleByRank[r] = processor with rank r.
+	idleByRank := make([]int, 0, len(idleRanks))
+	maxRank := -1
+	for _, r := range idleRanks {
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	idleByRank = append(idleByRank, make([]int, maxRank+1)...)
+	for i, r := range idleRanks {
+		if r >= 0 {
+			idleByRank[r] = i
+		}
+	}
+	var pairs []Pair
+	for i, r := range busyRanks {
+		if r >= 0 && r <= maxRank {
+			pairs = append(pairs, Pair{From: i, To: idleByRank[r]})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,255 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixSum(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want []int
+	}{
+		{nil, []int{}},
+		{[]int{5}, []int{0}},
+		{[]int{1, 2, 3, 4}, []int{0, 1, 3, 6}},
+		{[]int{0, 0, 7}, []int{0, 0, 0}},
+		{[]int{-1, 2, -3}, []int{0, -1, 1}},
+	}
+	for _, c := range cases {
+		got := PrefixSum(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("PrefixSum(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PrefixSum(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestInclusivePrefixSum(t *testing.T) {
+	got := InclusivePrefixSum([]int{1, 2, 3})
+	want := []int{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("InclusivePrefixSum = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTreePrefixSumMatchesSequential property-checks the two prefix-sum
+// implementations against each other over arbitrary inputs.
+func TestTreePrefixSumMatchesSequential(t *testing.T) {
+	f := func(xs []int) bool {
+		seq := PrefixSum(xs)
+		tree, _ := TreePrefixSum(xs)
+		if len(seq) != len(tree) {
+			return false
+		}
+		for i := range seq {
+			if seq[i] != tree[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTreePrefixSumSteps checks the logarithmic parallel depth.
+func TestTreePrefixSumSteps(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 9, 1024} {
+		xs := make([]int, n)
+		_, steps := TreePrefixSum(xs)
+		// 2 * ceil(log2 n) steps for the up- and down-sweeps.
+		logN := 0
+		for s := 1; s < n; s <<= 1 {
+			logN++
+		}
+		if want := 2 * logN; steps != want && n > 1 {
+			t.Errorf("n=%d: steps=%d, want %d", n, steps, want)
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	ranks, count := Enumerate([]bool{true, false, true, true, false})
+	want := []int{0, -1, 1, 2, -1}
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks=%v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestEnumerateFrom(t *testing.T) {
+	flags := []bool{true, true, false, true}
+	// Start at 2: order of set flags is 3, 0, 1.
+	ranks, count := EnumerateFrom(flags, 2)
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	want := []int{1, 2, -1, 0}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks=%v, want %v", ranks, want)
+		}
+	}
+	// Negative and overflowing starts wrap.
+	r2, _ := EnumerateFrom(flags, -2) // same as start 2
+	for i := range want {
+		if r2[i] != want[i] {
+			t.Fatalf("negative start: ranks=%v, want %v", r2, want)
+		}
+	}
+	r3, _ := EnumerateFrom(flags, 6) // same as start 2
+	for i := range want {
+		if r3[i] != want[i] {
+			t.Fatalf("wrapped start: ranks=%v, want %v", r3, want)
+		}
+	}
+}
+
+// TestEnumerateFromProperties property-checks that EnumerateFrom is a
+// bijection onto 0..count-1 matching Enumerate's support.
+func TestEnumerateFromProperties(t *testing.T) {
+	f := func(flags []bool, start int) bool {
+		ranks, count := EnumerateFrom(flags, start)
+		seen := map[int]bool{}
+		for i, r := range ranks {
+			if flags[i] != (r >= 0) {
+				return false
+			}
+			if r >= 0 {
+				if r >= count || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return len(seen) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if Sum([]int{1, 2, 3}) != 6 {
+		t.Error("Sum failed")
+	}
+	if Count([]bool{true, false, true}) != 2 {
+		t.Error("Count failed")
+	}
+	if m, ok := Max([]int{3, 9, 1}); !ok || m != 9 {
+		t.Error("Max failed")
+	}
+	if _, ok := Max(nil); ok {
+		t.Error("Max on empty should report false")
+	}
+	if m, ok := MinNonNeg([]int{-1, 7, 3, -5}); !ok || m != 3 {
+		t.Errorf("MinNonNeg = %d, want 3", m)
+	}
+	if _, ok := MinNonNeg([]int{-1, -2}); ok {
+		t.Error("MinNonNeg on all-negative should report false")
+	}
+}
+
+func TestRendezvous(t *testing.T) {
+	busy := []bool{true, true, false, true, false}
+	idle := []bool{false, false, true, false, true}
+	busyRanks, _ := Enumerate(busy)
+	idleRanks, _ := Enumerate(idle)
+	pairs := Rendezvous(busyRanks, idleRanks)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs=%v, want 2 pairs", pairs)
+	}
+	// busy rank 0 (proc 0) -> idle rank 0 (proc 2); busy rank 1 (proc 1)
+	// -> idle rank 1 (proc 4); busy rank 2 (proc 3) unmatched.
+	if pairs[0] != (Pair{From: 0, To: 2}) || pairs[1] != (Pair{From: 1, To: 4}) {
+		t.Errorf("pairs=%v", pairs)
+	}
+}
+
+func TestRendezvousPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Rendezvous([]int{0}, []int{0, 1})
+}
+
+// TestRendezvousProperties checks the one-on-one matching invariants on
+// random busy/idle configurations: exactly min(|busy|, |idle|) pairs,
+// donors distinct, receivers distinct, donors busy, receivers idle.
+func TestRendezvousProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(64)
+		busy := make([]bool, n)
+		idle := make([]bool, n)
+		for i := range busy {
+			switch rng.Intn(3) {
+			case 0:
+				busy[i] = true
+			case 1:
+				idle[i] = true
+			}
+		}
+		busyRanks, nb := Enumerate(busy)
+		idleRanks, ni := Enumerate(idle)
+		pairs := Rendezvous(busyRanks, idleRanks)
+		want := nb
+		if ni < want {
+			want = ni
+		}
+		if len(pairs) != want {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(pairs), want)
+		}
+		froms := map[int]bool{}
+		tos := map[int]bool{}
+		for _, p := range pairs {
+			if !busy[p.From] || !idle[p.To] {
+				t.Fatalf("trial %d: invalid pair %v", trial, p)
+			}
+			if froms[p.From] || tos[p.To] {
+				t.Fatalf("trial %d: duplicated endpoint in %v", trial, pairs)
+			}
+			froms[p.From] = true
+			tos[p.To] = true
+		}
+	}
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	xs := make([]int, 8192)
+	for i := range xs {
+		xs[i] = i & 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrefixSum(xs)
+	}
+}
+
+func BenchmarkTreePrefixSum(b *testing.B) {
+	xs := make([]int, 8192)
+	for i := range xs {
+		xs[i] = i & 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreePrefixSum(xs)
+	}
+}

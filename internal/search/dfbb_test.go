@@ -1,0 +1,154 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// pathOpt is a toy minimisation domain: a complete binary tree of fixed
+// depth where each edge adds a deterministic cost; complete solutions are
+// the leaves, and the lower bound is the accumulated cost (admissible:
+// remaining edges only add cost).
+type pathOpt struct {
+	depth int
+}
+
+type pathNode struct {
+	depth int
+	id    uint32
+	cost  int64
+}
+
+func (p pathOpt) Root() pathNode              { return pathNode{} }
+func (p pathOpt) Complete(n pathNode) bool    { return n.depth == p.depth }
+func (p pathOpt) Cost(n pathNode) int64       { return n.cost }
+func (p pathOpt) LowerBound(n pathNode) int64 { return n.cost }
+
+func (p pathOpt) Expand(n pathNode, buf []pathNode) []pathNode {
+	if n.depth == p.depth {
+		return buf
+	}
+	// Edge costs are a deterministic hash of (id, branch).
+	for b := uint32(0); b < 2; b++ {
+		id := n.id*2 + b
+		edge := int64((id*2654435761)%97) + 1
+		buf = append(buf, pathNode{depth: n.depth + 1, id: id, cost: n.cost + edge})
+	}
+	return buf
+}
+
+// bruteBest finds the optimum by full enumeration.
+func bruteBest(p pathOpt) int64 {
+	best := int64(math.MaxInt64)
+	var walk func(n pathNode)
+	walk = func(n pathNode) {
+		if p.Complete(n) {
+			if n.cost < best {
+				best = n.cost
+			}
+			return
+		}
+		for _, c := range p.Expand(n, nil) {
+			walk(c)
+		}
+	}
+	walk(p.Root())
+	return best
+}
+
+func TestOptimumMatchesBruteForce(t *testing.T) {
+	for depth := 1; depth <= 10; depth++ {
+		p := pathOpt{depth: depth}
+		got, expanded, ok := Optimum[pathNode](p)
+		if !ok {
+			t.Fatalf("depth %d: no solution", depth)
+		}
+		want := bruteBest(p)
+		if got != want {
+			t.Errorf("depth %d: optimum %d, brute force %d", depth, got, want)
+		}
+		full := int64(1)<<(depth+1) - 1
+		if expanded > full {
+			t.Errorf("depth %d: expanded %d > full tree %d", depth, expanded, full)
+		}
+	}
+}
+
+// TestDFBBPrunes verifies bound pruning actually reduces work on a deep
+// tree (the incumbent from the first descents prunes most of the rest).
+func TestDFBBPrunes(t *testing.T) {
+	p := pathOpt{depth: 14}
+	_, expanded, _ := Optimum[pathNode](p)
+	full := int64(1)<<15 - 1
+	if expanded >= full {
+		t.Errorf("DFBB expanded the whole tree (%d nodes); pruning is inert", expanded)
+	}
+}
+
+func TestIncumbent(t *testing.T) {
+	in := NewIncumbent()
+	if in.Best() != math.MaxInt64 {
+		t.Error("fresh incumbent should be +inf")
+	}
+	if !in.Offer(10) {
+		t.Error("first offer rejected")
+	}
+	if in.Offer(10) || in.Offer(11) {
+		t.Error("non-improving offer accepted")
+	}
+	if !in.Offer(9) || in.Best() != 9 {
+		t.Error("improving offer mishandled")
+	}
+}
+
+// TestIncumbentConcurrent hammers Offer from many goroutines; the final
+// value must be the global minimum.
+func TestIncumbentConcurrent(t *testing.T) {
+	in := NewIncumbent()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1000; i > g; i-- {
+				in.Offer(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if in.Best() != 1 {
+		t.Errorf("final incumbent %d, want 1", in.Best())
+	}
+}
+
+// TestDFBBGoalSemantics: Goal returns true only for strict improvements,
+// so duplicate-cost solutions are not double counted.
+func TestDFBBGoalSemantics(t *testing.T) {
+	b := NewDFBB[pathNode](pathOpt{depth: 3})
+	leaf := pathNode{depth: 3, cost: 5}
+	if !b.Goal(leaf) {
+		t.Error("first solution not a goal")
+	}
+	if b.Goal(leaf) {
+		t.Error("equal-cost solution counted again")
+	}
+	if !b.Goal(pathNode{depth: 3, cost: 4}) {
+		t.Error("improvement not a goal")
+	}
+	if b.Goal(pathNode{depth: 2, cost: 0}) {
+		t.Error("incomplete node treated as goal")
+	}
+}
+
+// TestNoSolution: an optimisation domain whose tree has no complete
+// solutions reports ok=false.
+type deadEnd struct{ pathOpt }
+
+func (deadEnd) Complete(pathNode) bool { return false }
+
+func TestNoSolution(t *testing.T) {
+	if _, _, ok := Optimum[pathNode](deadEnd{pathOpt{depth: 4}}); ok {
+		t.Error("solution reported for a domain with none")
+	}
+}

@@ -1,0 +1,177 @@
+// Package search defines the problem abstraction shared by the serial and
+// SIMD-parallel tree searches: a tree is specified by a root node and a
+// successor-generator function (Section 2 of the paper), optionally with an
+// f = g + h cost estimate enabling cost-bounded search and IDA*.
+//
+// The serial depth-first search here provides the ground-truth problem size
+// W (the number of nodes the best sequential algorithm expands, Section
+// 3.1) against which parallel efficiency is computed.  Both serial and
+// parallel searches run cost-bounded iterations to exhaustion — "find all
+// the solutions of the puzzle up to a given tree depth" — which makes the
+// serial and parallel node counts identical by construction and avoids the
+// superlinear-speedup anomalies the paper excludes from its analysis.
+package search
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Domain describes a finite tree to be searched exhaustively.  Expand must
+// be safe for concurrent use by multiple goroutines; node values are plain
+// data.
+type Domain[S any] interface {
+	// Root returns the root node of the tree.
+	Root() S
+	// Expand appends the successors of s to buf and returns the extended
+	// slice.  Any pruning (heuristics, cost bounds) happens here.
+	Expand(s S, buf []S) []S
+	// Goal reports whether s is a goal node.
+	Goal(s S) bool
+}
+
+// CostDomain additionally exposes an admissible cost estimate, enabling
+// cost-bounded search and iterative deepening.
+type CostDomain[S any] interface {
+	Domain[S]
+	// F returns the f = g + h lower bound on the cost of any solution
+	// through s.
+	F(s S) int
+}
+
+// Bounded adapts a CostDomain to the cost-bounded tree IDA* searches in a
+// single iteration: successors with F greater than Bound are pruned, and
+// the smallest pruned F is tracked (atomically, so a SIMD machine's worker
+// goroutines may share one Bounded) as the bound for the next iteration.
+type Bounded[S any] struct {
+	D     CostDomain[S]
+	Bound int
+	next  atomic.Int64
+}
+
+// NewBounded returns a cost-bounded view of d.
+func NewBounded[S any](d CostDomain[S], bound int) *Bounded[S] {
+	b := &Bounded[S]{D: d, Bound: bound}
+	b.next.Store(math.MaxInt64)
+	return b
+}
+
+// Root implements Domain.
+func (b *Bounded[S]) Root() S { return b.D.Root() }
+
+// Goal implements Domain; only nodes within the bound are generated, so
+// the underlying goal test applies unchanged.
+func (b *Bounded[S]) Goal(s S) bool { return b.D.Goal(s) }
+
+// Expand implements Domain, pruning successors beyond the bound and
+// recording the minimum pruned f-value.
+func (b *Bounded[S]) Expand(s S, buf []S) []S {
+	start := len(buf)
+	buf = b.D.Expand(s, buf)
+	kept := start
+	for i := start; i < len(buf); i++ {
+		if f := b.D.F(buf[i]); f > b.Bound {
+			b.relaxNext(int64(f))
+			continue
+		}
+		buf[kept] = buf[i]
+		kept++
+	}
+	return buf[:kept]
+}
+
+// relaxNext lowers the recorded next bound to f if f is smaller.
+func (b *Bounded[S]) relaxNext(f int64) {
+	for {
+		cur := b.next.Load()
+		if f >= cur {
+			return
+		}
+		if b.next.CompareAndSwap(cur, f) {
+			return
+		}
+	}
+}
+
+// NextBound returns the smallest f-value that was pruned during the
+// iteration, i.e. the cost bound for the next IDA* iteration, and whether
+// any node was pruned at all.
+func (b *Bounded[S]) NextBound() (int, bool) {
+	v := b.next.Load()
+	if v == math.MaxInt64 {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// Result summarises a serial search.
+type Result struct {
+	Expanded int64 // nodes expanded (the problem size W)
+	Goals    int64 // goal nodes found
+	MaxDepth int   // deepest stack observed, in levels
+	Bound    int   // final cost bound (IDA* only)
+	Iters    int   // IDA* iterations performed (IDA* only)
+}
+
+// DFS exhaustively searches d depth-first and returns the node and goal
+// counts.  The domain must describe a finite tree.
+func DFS[S any](d Domain[S]) Result {
+	var res Result
+	stk := []S{d.Root()}
+	buf := make([]S, 0, 16)
+	for len(stk) > 0 {
+		if len(stk) > res.MaxDepth {
+			res.MaxDepth = len(stk)
+		}
+		n := stk[len(stk)-1]
+		stk = stk[:len(stk)-1]
+		res.Expanded++
+		if d.Goal(n) {
+			res.Goals++
+		}
+		buf = d.Expand(n, buf[:0])
+		stk = append(stk, buf...)
+	}
+	return res
+}
+
+// IDAStar runs iterative-deepening A* (Korf 1985) on d serially: repeated
+// cost-bounded depth-first searches with the bound raised to the smallest
+// pruned f-value, until an iteration finds a goal.  Each iteration runs to
+// exhaustion, finding every solution of cost at most the bound.
+// maxIters <= 0 means no iteration limit.
+func IDAStar[S any](d CostDomain[S], maxIters int) Result {
+	var total Result
+	bound := d.F(d.Root())
+	for iter := 0; maxIters <= 0 || iter < maxIters; iter++ {
+		b := NewBounded(d, bound)
+		r := DFS[S](b)
+		total.Expanded += r.Expanded
+		total.Goals += r.Goals
+		total.Iters++
+		total.Bound = bound
+		if r.MaxDepth > total.MaxDepth {
+			total.MaxDepth = r.MaxDepth
+		}
+		if r.Goals > 0 {
+			return total
+		}
+		next, ok := b.NextBound()
+		if !ok {
+			return total // search space exhausted with no solution
+		}
+		bound = next
+	}
+	return total
+}
+
+// FinalIterationBound returns the IDA* cost bound of the iteration in
+// which the first solution appears — the bound the paper's experiments
+// search exhaustively — along with the number of nodes that final
+// iteration expands.  It runs serial IDA* under the hood.
+func FinalIterationBound[S any](d CostDomain[S]) (bound int, w int64) {
+	r := IDAStar(d, 0)
+	b := NewBounded(d, r.Bound)
+	final := DFS[S](b)
+	return r.Bound, final.Expanded
+}

@@ -1,0 +1,132 @@
+package simd
+
+import (
+	"time"
+
+	"simdtree/internal/match"
+	"simdtree/internal/stack"
+	"simdtree/internal/topology"
+)
+
+// Context exposes the machine state a Balancer manipulates during a
+// load-balancing phase.  Transfers must go through Transfer so the engine
+// can account for them.
+type Context[S any] struct {
+	Stacks   []*stack.Stack[S]
+	Splitter stack.Splitter[S]
+	Topo     topology.Network
+
+	transfers    int
+	maxTransfer  int
+	recordDonors bool
+	donors       []int
+}
+
+// P returns the machine size.
+func (c *Context[S]) P() int { return len(c.Stacks) }
+
+// Busy returns the donor-eligibility flags: processor i can split its work
+// into two non-empty parts (the paper's definition of busy: at least two
+// nodes on the stack).
+func (c *Context[S]) Busy() []bool {
+	flags := make([]bool, len(c.Stacks))
+	for i, s := range c.Stacks {
+		flags[i] = s.Splittable()
+	}
+	return flags
+}
+
+// Idle returns the receiver flags: processor i has no work at all.
+func (c *Context[S]) Idle() []bool {
+	flags := make([]bool, len(c.Stacks))
+	for i, s := range c.Stacks {
+		flags[i] = s.Empty()
+	}
+	return flags
+}
+
+// Transfer splits the stack of processor from and appends the donated part
+// to processor to.  It reports the number of stack nodes moved; a donor
+// that can no longer split moves nothing.
+func (c *Context[S]) Transfer(from, to int) int {
+	donor := c.Stacks[from]
+	if !donor.Splittable() {
+		return 0
+	}
+	donated := c.Splitter.Split(donor)
+	n := donated.Size()
+	if n == 0 {
+		return 0
+	}
+	c.Stacks[to].Append(donated)
+	c.transfers++
+	if n > c.maxTransfer {
+		c.maxTransfer = n
+	}
+	if c.recordDonors {
+		c.donors = append(c.donors, from)
+	}
+	return n
+}
+
+// Balancer performs the load-balancing phase: matching idle processors
+// with busy ones and transferring work.  It returns the number of
+// matching/transfer rounds it needed (each round costs communication, see
+// Costs.PhaseCost) and the number of individual work transfers performed.
+type Balancer[S any] interface {
+	// Name identifies the balancer in reports.
+	Name() string
+	// Balance runs one load-balancing phase.
+	Balance(c *Context[S]) (rounds, transfers int)
+}
+
+// PhaseCoster lets a Balancer override the default phase cost model.  The
+// nearest-neighbour baseline implements it to charge local-hop costs
+// instead of the scan-setup-plus-router cost of the standard phase.
+type PhaseCoster interface {
+	PhaseCost(costs Costs, net topology.Network, p, rounds int) time.Duration
+}
+
+// MatchBalancer is the paper's load-balancing phase: idle processors are
+// matched one-on-one to busy donors by the configured matching scheme and
+// each donor splits its stack once.  With Multi set, matching and transfer
+// rounds repeat until no idle processor can be served — the multiple work
+// transfers the D^P trigger requires (Table 1, Section 2.3).
+type MatchBalancer[S any] struct {
+	Matcher match.Matcher
+	Multi   bool
+}
+
+// Name implements Balancer.
+func (b *MatchBalancer[S]) Name() string {
+	if b.Multi {
+		return b.Matcher.Name() + "*"
+	}
+	return b.Matcher.Name()
+}
+
+// Reset clears the matcher's cross-phase state (the GP pointer) so the
+// balancer can be reused across runs.
+func (b *MatchBalancer[S]) Reset() { b.Matcher.Reset() }
+
+// Balance implements Balancer.
+func (b *MatchBalancer[S]) Balance(c *Context[S]) (rounds, transfers int) {
+	for {
+		pairs := b.Matcher.Match(c.Busy(), c.Idle())
+		if len(pairs) == 0 {
+			if rounds == 0 {
+				rounds = 1 // the phase still pays its setup scans
+			}
+			return rounds, transfers
+		}
+		rounds++
+		for _, p := range pairs {
+			if c.Transfer(p.From, p.To) > 0 {
+				transfers++
+			}
+		}
+		if !b.Multi {
+			return rounds, transfers
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package simd
+
+import (
+	"testing"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
+	"simdtree/internal/search"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/topology"
+	"simdtree/internal/trace"
+)
+
+func mustScheme(t testing.TB, label string) Scheme[synthetic.Node] {
+	t.Helper()
+	sch, err := ParseScheme[synthetic.Node](label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tree := synthetic.New(100, 1)
+	sch := mustScheme(t, "GP-DK")
+	if _, err := Run[synthetic.Node](nil, sch, Options{P: 4}); err == nil {
+		t.Error("nil domain accepted")
+	}
+	if _, err := Run[synthetic.Node](tree, sch, Options{P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := Run[synthetic.Node](tree, Scheme[synthetic.Node]{}, Options{P: 4}); err == nil {
+		t.Error("empty scheme accepted")
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	tree := synthetic.New(100000, 1)
+	sch, _ := ParseScheme[synthetic.Node]("GP-S0.90")
+	_, err := Run[synthetic.Node](tree, sch, Options{P: 4, MaxCycles: 10})
+	if err == nil {
+		t.Error("MaxCycles guard did not fire")
+	}
+}
+
+func TestSingleProcessorDegenerates(t *testing.T) {
+	tree := synthetic.New(5000, 1)
+	sch, _ := ParseScheme[synthetic.Node]("GP-S0.90")
+	st, err := Run[synthetic.Node](tree, sch, Options{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W != 5000 || st.Cycles != 5000 {
+		t.Errorf("P=1: W=%d cycles=%d, want 5000 each", st.W, st.Cycles)
+	}
+	if e := st.Efficiency(); e < 0.9999 {
+		t.Errorf("P=1 efficiency %v, want 1", e)
+	}
+	if st.LBPhases != 0 {
+		t.Errorf("P=1 performed %d LB phases", st.LBPhases)
+	}
+}
+
+func TestStopAtFirstGoal(t *testing.T) {
+	// A deep scramble searched without a bound limit would take long;
+	// with StopAtFirstGoal the machine quits the cycle a goal appears in.
+	inst := puzzle.Scramble(11, 22)
+	dom := puzzle.NewDomain(inst)
+	bound, _ := search.FinalIterationBound(dom)
+	sch, _ := ParseScheme[puzzle.Node]("GP-S0.75")
+	full, err := Run[puzzle.Node](search.NewBounded(dom, bound), sch, Options{P: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch2, _ := ParseScheme[puzzle.Node]("GP-S0.75")
+	early, err := Run[puzzle.Node](search.NewBounded(dom, bound), sch2, Options{P: 32, StopAtFirstGoal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Goals == 0 {
+		t.Fatal("early stop found no goal")
+	}
+	if early.W > full.W {
+		t.Errorf("early stop expanded more (%d) than exhaustive (%d)", early.W, full.W)
+	}
+	if early.Cycles > full.Cycles {
+		t.Errorf("early stop took more cycles (%d) than exhaustive (%d)", early.Cycles, full.Cycles)
+	}
+}
+
+func TestQueensOnSIMDMatchesSerial(t *testing.T) {
+	d := queens.New(9)
+	serial := search.DFS[queens.Node](d)
+	sch, err := ParseScheme[queens.Node]("GP-DK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run[queens.Node](d, sch, Options{P: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Goals != serial.Goals || st.W != serial.Expanded {
+		t.Errorf("queens: parallel (W=%d, goals=%d) vs serial (W=%d, goals=%d)",
+			st.W, st.Goals, serial.Expanded, serial.Goals)
+	}
+}
+
+// TestGPNoWorsePhasesAtHighThreshold reproduces the core Table 2 property:
+// at high static thresholds GP performs at most as many (and for sizeable
+// trees strictly fewer) load-balancing phases as nGP.
+func TestGPNoWorsePhasesAtHighThreshold(t *testing.T) {
+	tree := synthetic.New(200000, 0xFACE)
+	for _, x := range []string{"S0.80", "S0.90"} {
+		ngp, err := Run[synthetic.Node](tree, mustScheme(t, "nGP-"+x), Options{P: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := Run[synthetic.Node](tree, mustScheme(t, "GP-"+x), Options{P: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gp.LBPhases > ngp.LBPhases {
+			t.Errorf("%s: GP phases %d > nGP phases %d", x, gp.LBPhases, ngp.LBPhases)
+		}
+		if gp.Efficiency() < ngp.Efficiency()-0.02 {
+			t.Errorf("%s: GP efficiency %.3f below nGP %.3f", x, gp.Efficiency(), ngp.Efficiency())
+		}
+	}
+}
+
+// TestSchemesIdenticalAtHalfThreshold reproduces the x=0.5 observation:
+// both matching schemes behave near-identically because every busy
+// processor donates in every phase (V(P)=1 for both).
+func TestSchemesIdenticalAtHalfThreshold(t *testing.T) {
+	tree := synthetic.New(100000, 0xF00D)
+	ngp, err := Run[synthetic.Node](tree, mustScheme(t, "nGP-S0.50"), Options{P: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := Run[synthetic.Node](tree, mustScheme(t, "GP-S0.50"), Options{P: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := gp.LBPhases - ngp.LBPhases; d > 2 || d < -2 {
+		t.Errorf("x=0.5: phase counts diverge (GP %d, nGP %d)", gp.LBPhases, ngp.LBPhases)
+	}
+}
+
+// TestDKTracksOptimalStatic reproduces Section 6.2's bound measured: the
+// D^K overheads stay within roughly twice those of a well-chosen static
+// trigger.
+func TestDKTracksOptimalStatic(t *testing.T) {
+	tree := synthetic.New(150000, 0xD00D)
+	dk, err := Run[synthetic.Node](tree, mustScheme(t, "GP-DK"), Options{P: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan static thresholds for the best efficiency.
+	best := 0.0
+	var bestOver time.Duration
+	for _, x := range []string{"S0.70", "S0.80", "S0.85", "S0.90", "S0.95"} {
+		st, err := Run[synthetic.Node](tree, mustScheme(t, "GP-"+x), Options{P: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := st.Efficiency(); e > best {
+			best = e
+			bestOver = st.Overhead()
+		}
+	}
+	if dk.Efficiency() < best-0.12 {
+		t.Errorf("GP-DK efficiency %.3f far below best static %.3f", dk.Efficiency(), best)
+	}
+	// The theorem: DK overheads <= 2x optimal static overheads (allow
+	// 2.5x for the discrete simulation and the imperfect L estimate).
+	if bestOver > 0 && dk.Overhead() > bestOver*5/2 {
+		t.Errorf("GP-DK overhead %v exceeds 2.5x the optimal static overhead %v", dk.Overhead(), bestOver)
+	}
+}
+
+// TestDPDegradesWithExpensiveLB reproduces Table 5's qualitative claim:
+// when the load-balancing cost is inflated 16x, D^K beats D^P.
+func TestDPDegradesWithExpensiveLB(t *testing.T) {
+	tree := synthetic.New(150000, 0xCAFE)
+	opts := Options{P: 256}
+	opts.Costs = CM2Costs()
+	opts.Costs.LBScale = 16
+	dp, err := Run[synthetic.Node](tree, mustScheme(t, "GP-DP"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := Run[synthetic.Node](tree, mustScheme(t, "GP-DK"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dk.Efficiency() < dp.Efficiency() {
+		t.Errorf("at 16x tlb, GP-DK (%.3f) should not trail GP-DP (%.3f)",
+			dk.Efficiency(), dp.Efficiency())
+	}
+}
+
+func TestInitialDistributionFillsMachine(t *testing.T) {
+	tr := &trace.Trace{}
+	tree := synthetic.New(100000, 0xBEAD)
+	sch := mustScheme(t, "GP-DK") // dynamic: wants the S^0.85 init phase
+	st, err := Run[synthetic.Node](tree, sch, Options{P: 128, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InitCycles == 0 || st.InitPhases == 0 {
+		t.Fatalf("no initial distribution recorded: %+v", st)
+	}
+	// After the init phase, at least 85% of 128 processors had work.
+	idx := st.InitCycles - 1
+	if idx >= len(tr.Samples) {
+		t.Fatal("trace too short")
+	}
+	if a := tr.Samples[idx].Active; a < 109 {
+		t.Errorf("after init, active=%d, want >= 109 (85%% of 128)", a)
+	}
+}
+
+func TestInitialDistributionDisabled(t *testing.T) {
+	tree := synthetic.New(50000, 0xBEAD)
+	sch := mustScheme(t, "GP-DK")
+	st, err := Run[synthetic.Node](tree, sch, Options{P: 128, InitThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InitCycles != 0 || st.InitPhases != 0 {
+		t.Errorf("init phase ran despite being disabled: %+v", st)
+	}
+}
+
+func TestTopologyChangesCostsNotSchedule(t *testing.T) {
+	tree := synthetic.New(60000, 0x70D0)
+	var prev *struct {
+		cycles int
+		phases int
+	}
+	for _, topoName := range []string{"cm2", "crossbar"} {
+		net, _ := topology.ByName(topoName)
+		sch := mustScheme(t, "GP-S0.85")
+		st, err := Run[synthetic.Node](tree, sch, Options{P: 128, Topology: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && (st.Cycles != prev.cycles || st.LBPhases != prev.phases) {
+			t.Errorf("static trigger schedule changed with topology: %d/%d vs %d/%d",
+				st.Cycles, st.LBPhases, prev.cycles, prev.phases)
+		}
+		prev = &struct {
+			cycles int
+			phases int
+		}{st.Cycles, st.LBPhases}
+	}
+}
+
+// TestEfficiencyImprovesWithW reproduces the isoefficiency intuition: at
+// fixed P, a bigger problem is more efficient.
+func TestEfficiencyImprovesWithW(t *testing.T) {
+	prev := 0.0
+	for _, w := range []int64{20000, 80000, 320000} {
+		st := runSyntheticStats(t, w, "GP-S0.90", Options{P: 256})
+		if e := st.Efficiency(); e <= prev {
+			t.Errorf("W=%d: efficiency %.3f did not improve on %.3f", w, e, prev)
+		} else {
+			prev = e
+		}
+	}
+}
+
+// TestEfficiencyDropsWithP reproduces the complementary direction: at
+// fixed W, more processors mean lower efficiency.
+func TestEfficiencyDropsWithP(t *testing.T) {
+	prev := 1.1
+	for _, p := range []int{64, 256, 1024} {
+		st := runSyntheticStats(t, 80000, "GP-S0.90", Options{P: p})
+		if e := st.Efficiency(); e >= prev {
+			t.Errorf("P=%d: efficiency %.3f did not drop from %.3f", p, e, prev)
+		} else {
+			prev = e
+		}
+	}
+}
+
+func runSyntheticStats(t testing.TB, w int64, label string, opts Options) metrics.Stats {
+	t.Helper()
+	st, err := Run[synthetic.Node](synthetic.New(w, 0x5EED), mustScheme(t, label), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

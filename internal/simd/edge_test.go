@@ -1,0 +1,119 @@
+package simd
+
+import (
+	"testing"
+
+	"simdtree/internal/synthetic"
+)
+
+// chainTree is the worst case for load balancing: a pure chain — every
+// node has exactly one child, so no stack is ever splittable and no work
+// can be shared.  The machine must degrade gracefully: one processor does
+// everything, triggers fire but no phases can run, and the search still
+// terminates with exact accounting.
+type chainTree struct{ length int }
+
+type chainNode struct{ depth int }
+
+func (c chainTree) Root() chainNode       { return chainNode{} }
+func (c chainTree) Goal(n chainNode) bool { return n.depth == c.length-1 }
+func (c chainTree) Expand(n chainNode, buf []chainNode) []chainNode {
+	if n.depth >= c.length-1 {
+		return buf
+	}
+	return append(buf, chainNode{depth: n.depth + 1})
+}
+
+func TestChainTreeNoDonors(t *testing.T) {
+	const length = 3000
+	sch, err := ParseScheme[chainNode]("GP-S0.90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run[chainNode](chainTree{length: length}, sch, Options{P: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W != length {
+		t.Errorf("W=%d, want %d", st.W, length)
+	}
+	if st.Goals != 1 {
+		t.Errorf("goals=%d, want 1", st.Goals)
+	}
+	if st.LBPhases != 0 {
+		t.Errorf("performed %d phases with nothing splittable", st.LBPhases)
+	}
+	// One processor working out of 64: efficiency ~1/64.
+	if e := st.Efficiency(); e > 0.02 {
+		t.Errorf("efficiency %f, want ~1/64", e)
+	}
+	if st.BalanceCheck() != 0 {
+		t.Error("accounting identity violated")
+	}
+}
+
+// wideTree explodes immediately: the root has `width` children, each a
+// leaf.  Exercises very wide levels and one-shot distribution.
+type wideTree struct{ width int }
+
+type wideNode struct{ id int }
+
+func (w wideTree) Root() wideNode     { return wideNode{id: -1} }
+func (w wideTree) Goal(wideNode) bool { return false }
+func (w wideTree) Expand(n wideNode, buf []wideNode) []wideNode {
+	if n.id >= 0 {
+		return buf
+	}
+	for i := 0; i < w.width; i++ {
+		buf = append(buf, wideNode{id: i})
+	}
+	return buf
+}
+
+func TestWideTree(t *testing.T) {
+	sch, err := ParseScheme[wideNode]("GP-S0.90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run[wideNode](wideTree{width: 5000}, sch, Options{P: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W != 5001 {
+		t.Errorf("W=%d, want 5001", st.W)
+	}
+	if st.PeakStack < 5000 {
+		t.Errorf("peak stack %d, want >= 5000 (the root's whole level)", st.PeakStack)
+	}
+	if st.BalanceCheck() != 0 {
+		t.Error("accounting identity violated")
+	}
+}
+
+// TestSingleNodeTree is the minimal search.
+func TestSingleNodeTree(t *testing.T) {
+	sch, _ := ParseScheme[synthetic.Node]("GP-DK")
+	st, err := Run[synthetic.Node](synthetic.New(1, 1), sch, Options{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W != 1 || st.Cycles != 1 {
+		t.Errorf("W=%d cycles=%d, want 1/1", st.W, st.Cycles)
+	}
+}
+
+// TestMorePEsThanNodes: a tiny tree on a big machine terminates cleanly
+// with most processors never receiving work.
+func TestMorePEsThanNodes(t *testing.T) {
+	sch, _ := ParseScheme[synthetic.Node]("GP-S0.50")
+	st, err := Run[synthetic.Node](synthetic.New(30, 2), sch, Options{P: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W != 30 {
+		t.Errorf("W=%d, want 30", st.W)
+	}
+	if st.BalanceCheck() != 0 {
+		t.Error("accounting identity violated")
+	}
+}

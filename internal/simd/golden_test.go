@@ -1,0 +1,51 @@
+package simd
+
+import (
+	"testing"
+
+	"simdtree/internal/synthetic"
+)
+
+// TestGoldenSchedule pins the exact simulated schedule of a reference
+// configuration.  The simulator's value lies in its reproducibility: any
+// change to matching, triggering, splitting, cost accounting or the
+// synthetic generator that alters cycle or phase counts must be a
+// conscious decision, surfaced by this test rather than silently shifting
+// every experiment.  Update the constants only alongside a DESIGN.md note
+// explaining the behavioural change.
+func TestGoldenSchedule(t *testing.T) {
+	cases := []struct {
+		label     string
+		wantCyc   int
+		wantNlb   int
+		wantXfers int
+	}{
+		{"GP-S0.90", 189, 91, 3964},
+		{"nGP-S0.90", 197, 112, 7076},
+		{"GP-DK", 200, 66, 3528},
+		{"GP-DP", 205, 56, 3926},
+	}
+	tree := synthetic.New(40000, 0x60D)
+	for _, c := range cases {
+		sch, err := ParseScheme[synthetic.Node](c.label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Run[synthetic.Node](tree, sch, Options{P: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.W != 40000 {
+			t.Fatalf("%s: W=%d", c.label, st.W)
+		}
+		if c.wantCyc == 0 {
+			// Bootstrap mode: print the values to pin.
+			t.Logf("{%q, %d, %d, %d},", c.label, st.Cycles, st.LBPhases, st.Transfers)
+			continue
+		}
+		if st.Cycles != c.wantCyc || st.LBPhases != c.wantNlb || st.Transfers != c.wantXfers {
+			t.Errorf("%s: schedule drifted: cycles=%d (want %d) phases=%d (want %d) transfers=%d (want %d)",
+				c.label, st.Cycles, c.wantCyc, st.LBPhases, c.wantNlb, st.Transfers, c.wantXfers)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package simd simulates the paper's machine model: P processing elements
+// executing a parallel depth-first search in lock-step, alternating between
+// a search phase (node-expansion cycles) and a load-balancing phase (idle
+// processors matched to busy donors, which split their DFS stacks).  The
+// simulator substitutes for the CM-2 of the paper's experiments: it
+// reproduces the lock-step schedule exactly — every busy PE expands one
+// node per cycle, the trigger is evaluated globally between cycles, phases
+// are barrier-synchronised — and charges the paper's measured unit costs
+// (Ucalc per cycle, tlb per phase) to a deterministic virtual clock, from
+// which the Section 3.1 aggregates (Tcalc, Tidle, Tlb, efficiency) follow.
+//
+// The schedule, node counts and virtual times are bit-for-bit deterministic
+// for a given (domain, scheme, options); the Workers option only shards the
+// expansion work of each cycle across goroutines to speed up wall-clock
+// simulation and never changes results.
+//
+// One deliberate deviation from the paper's terminology: the paper calls a
+// processor "busy" only when its stack is splittable (at least two nodes).
+// Here the active count A used by triggers and idle-time accounting counts
+// processors with any work at all (they do expand a node that cycle), while
+// donor eligibility still requires a splittable stack.  The two coincide
+// except for the rare single-node stacks, and the accounting identity
+// P*Tpar = Tcalc + Tidle + Tlb requires the has-work notion.
+package simd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/search"
+	"simdtree/internal/stack"
+	"simdtree/internal/topology"
+	"simdtree/internal/trace"
+	"simdtree/internal/trigger"
+)
+
+// Options configures a simulated run.  The zero value (plus a positive P)
+// reproduces the paper's CM-2 setup.
+type Options struct {
+	// P is the number of processing elements; it must be positive.
+	P int
+	// Topology is the interconnection network; nil means the CM-2.
+	Topology topology.Network
+	// Costs is the virtual cost model; zero fields default to CM2Costs.
+	Costs Costs
+	// InitThreshold controls the initial distribution phase the paper
+	// uses before dynamic triggering (Section 7): expansion cycles and
+	// distribution phases alternate until this fraction of PEs has work.
+	// 0 selects the paper's default (0.85 for dynamic triggers, none for
+	// static); a negative value disables the phase outright.
+	InitThreshold float64
+	// StopAtFirstGoal stops the search once any PE finds a goal in a
+	// cycle.  The default (false) searches exhaustively, matching the
+	// paper's all-solutions runs that keep serial and parallel node
+	// counts identical.
+	StopAtFirstGoal bool
+	// Workers shards each expansion cycle across this many goroutines;
+	// values below 1 mean sequential execution.  Results are identical
+	// for any worker count.
+	Workers int
+	// MaxCycles aborts runaway simulations; 0 means no limit.
+	MaxCycles int
+	// Trace, when non-nil, records per-cycle active counts and trigger
+	// quantities (Figures 1 and 8).
+	Trace *trace.Trace
+	// Progress, when non-nil, is called every ProgressEvery expansion
+	// cycles (default 1000) with a liveness snapshot — useful for the
+	// multi-minute full-scale runs.  It runs on the simulation goroutine;
+	// keep it cheap.
+	Progress func(ProgressInfo)
+	// ProgressEvery sets the Progress callback cadence in cycles.
+	ProgressEvery int
+}
+
+// ProgressInfo is the snapshot handed to Options.Progress.
+type ProgressInfo struct {
+	Cycles   int           // expansion cycles completed
+	Active   int           // processors busy in the latest cycle
+	W        int64         // nodes expanded so far
+	LBPhases int           // load-balancing phases so far
+	Tpar     time.Duration // virtual time elapsed
+}
+
+// machine is the mutable state of one simulated run.
+type machine[S any] struct {
+	d     search.Domain[S]
+	sch   Scheme[S]
+	opts  Options
+	topo  topology.Network
+	costs Costs
+
+	stacks  []*stack.Stack[S]
+	workers int
+
+	stats metrics.Stats
+	goals int64
+
+	// Search-phase accumulators, reset after every load-balancing phase.
+	phaseCycles  int
+	phaseElapsed time.Duration
+	phaseWork    time.Duration
+	phaseIdle    time.Duration
+	estLB        time.Duration
+}
+
+// Run simulates the parallel search of d under scheme sch and returns the
+// Section 3.1 statistics.
+func Run[S any](d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats, error) {
+	if d == nil {
+		return metrics.Stats{}, errors.New("simd: nil domain")
+	}
+	if opts.P <= 0 {
+		return metrics.Stats{}, fmt.Errorf("simd: invalid processor count %d", opts.P)
+	}
+	if sch.Trigger == nil || sch.Balancer == nil {
+		return metrics.Stats{}, errors.New("simd: scheme is missing a trigger or balancer")
+	}
+	if sch.Splitter == nil {
+		sch.Splitter = stack.BottomNode[S]{}
+	}
+	sch.Trigger.Reset()
+	if r, ok := sch.Balancer.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+
+	m := &machine[S]{
+		d:     d,
+		sch:   sch,
+		opts:  opts,
+		topo:  opts.Topology,
+		costs: opts.Costs.normalize(),
+	}
+	if m.topo == nil {
+		m.topo = topology.CM2{}
+	}
+	m.workers = opts.Workers
+	if m.workers < 1 {
+		m.workers = 1
+	}
+	if m.workers > opts.P {
+		m.workers = opts.P
+	}
+	m.stacks = make([]*stack.Stack[S], opts.P)
+	for i := range m.stacks {
+		m.stacks[i] = stack.New[S]()
+	}
+	m.stacks[0].PushLevel([]S{d.Root()})
+	m.stats.P = opts.P
+	m.estLB = m.costs.SingleRoundCost(m.topo, opts.P)
+
+	if err := m.run(); err != nil {
+		return m.stats, err
+	}
+	m.stats.Tcalc = time.Duration(m.stats.W) * m.costs.NodeExpansion
+	m.stats.Goals = m.goals
+	return m.stats, nil
+}
+
+// run executes the initial distribution followed by the main
+// search/balance loop.
+func (m *machine[S]) run() error {
+	initTh := m.opts.InitThreshold
+	if initTh == 0 && m.sch.WantInit {
+		initTh = 0.85
+	}
+	if initTh > 0 {
+		if err := m.initialDistribution(initTh); err != nil {
+			return err
+		}
+	}
+	for {
+		if m.done() {
+			return nil
+		}
+		if err := m.checkBudget(); err != nil {
+			return err
+		}
+		active := m.cycle()
+		st := m.triggerState(active)
+		m.recordSample(st)
+		if m.opts.StopAtFirstGoal && m.goals > 0 {
+			return nil
+		}
+		if m.sch.Trigger.ShouldBalance(st) && active < m.stats.P && m.anyDonor() {
+			m.balance(false)
+		}
+	}
+}
+
+// initialDistribution alternates expansion cycles with distribution phases
+// until the target fraction of PEs has work (Section 7).
+func (m *machine[S]) initialDistribution(threshold float64) error {
+	if threshold > 1 {
+		threshold = 1
+	}
+	target := int(math.Ceil(threshold * float64(m.stats.P)))
+	for {
+		if m.done() {
+			return nil
+		}
+		if err := m.checkBudget(); err != nil {
+			return err
+		}
+		active := m.cycle()
+		m.stats.InitCycles++
+		m.recordSample(m.triggerState(active))
+		if m.opts.StopAtFirstGoal && m.goals > 0 {
+			return nil
+		}
+		if active >= target {
+			return nil
+		}
+		if active < m.stats.P && m.anyDonor() {
+			m.balance(true)
+		}
+	}
+}
+
+// done reports whether every stack is empty.
+func (m *machine[S]) done() bool {
+	for _, s := range m.stacks {
+		if !s.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// anyDonor reports whether some PE can split its work.
+func (m *machine[S]) anyDonor() bool {
+	for _, s := range m.stacks {
+		if s.Splittable() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBudget enforces the MaxCycles safety valve.
+func (m *machine[S]) checkBudget() error {
+	if m.opts.MaxCycles > 0 && m.stats.Cycles >= m.opts.MaxCycles {
+		return fmt.Errorf("simd: exceeded MaxCycles=%d (W so far %d)", m.opts.MaxCycles, m.stats.W)
+	}
+	return nil
+}
+
+// cycleResult carries one worker's share of an expansion cycle.
+type cycleResult struct {
+	expanded int64
+	goals    int64
+	peak     int
+}
+
+// cycle performs one lock-step node-expansion cycle: every PE with work
+// pops its next node, tests it for the goal and pushes its successors.  It
+// returns the number of PEs that expanded a node and charges the virtual
+// clock.
+func (m *machine[S]) cycle() int {
+	var res cycleResult
+	if m.workers == 1 {
+		res = m.expandRange(0, m.stats.P, nil)
+	} else {
+		results := make([]cycleResult, m.workers)
+		chunk := (m.stats.P + m.workers - 1) / m.workers
+		var wg sync.WaitGroup
+		for w := 0; w < m.workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > m.stats.P {
+				hi = m.stats.P
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				results[w] = m.expandRange(lo, hi, nil)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, r := range results {
+			res.expanded += r.expanded
+			res.goals += r.goals
+			if r.peak > res.peak {
+				res.peak = r.peak
+			}
+		}
+	}
+
+	active := int(res.expanded)
+	m.goals += res.goals
+	if res.peak > m.stats.PeakStack {
+		m.stats.PeakStack = res.peak
+	}
+
+	ucalc := m.costs.NodeExpansion
+	m.stats.W += res.expanded
+	m.stats.Cycles++
+	m.stats.Tpar += ucalc
+	idle := time.Duration(m.stats.P-active) * ucalc
+	m.stats.Tidle += idle
+	m.phaseCycles++
+	m.phaseElapsed += ucalc
+	m.phaseWork += time.Duration(active) * ucalc
+	m.phaseIdle += idle
+
+	if m.opts.Progress != nil {
+		every := m.opts.ProgressEvery
+		if every <= 0 {
+			every = 1000
+		}
+		if m.stats.Cycles%every == 0 {
+			m.opts.Progress(ProgressInfo{
+				Cycles:   m.stats.Cycles,
+				Active:   active,
+				W:        m.stats.W,
+				LBPhases: m.stats.LBPhases,
+				Tpar:     m.stats.Tpar,
+			})
+		}
+	}
+	return active
+}
+
+// expandRange expands one node on every non-empty stack in [lo, hi).
+func (m *machine[S]) expandRange(lo, hi int, buf []S) cycleResult {
+	var res cycleResult
+	for i := lo; i < hi; i++ {
+		stk := m.stacks[i]
+		node, ok := stk.Pop()
+		if !ok {
+			continue
+		}
+		res.expanded++
+		if m.d.Goal(node) {
+			res.goals++
+		}
+		buf = m.d.Expand(node, buf[:0])
+		stk.PushLevelCopy(buf)
+		if s := stk.Size(); s > res.peak {
+			res.peak = s
+		}
+	}
+	return res
+}
+
+// triggerState assembles the globally reduced view a trigger sees after a
+// cycle.
+func (m *machine[S]) triggerState(active int) trigger.State {
+	return trigger.State{
+		P:       m.stats.P,
+		Active:  active,
+		Cycles:  m.phaseCycles,
+		Elapsed: m.phaseElapsed,
+		Work:    m.phaseWork,
+		Idle:    m.phaseIdle,
+		EstLB:   m.estLB,
+	}
+}
+
+// recordSample emits the per-cycle trace sample, including the trigger
+// geometry of Figure 1 (R1 and R2 for the dynamic triggers; A and x*P for
+// static ones).
+func (m *machine[S]) recordSample(st trigger.State) {
+	if m.opts.Trace == nil {
+		return
+	}
+	var r1, r2 time.Duration
+	switch t := m.sch.Trigger.(type) {
+	case trigger.DP:
+		r1 = st.Work - time.Duration(st.Active)*st.Elapsed
+		r2 = time.Duration(st.Active) * st.EstLB
+	case trigger.DK:
+		r1 = st.Idle
+		r2 = time.Duration(st.P) * st.EstLB
+	case trigger.Static:
+		r1 = time.Duration(st.Active)
+		r2 = time.Duration(t.X * float64(st.P))
+	default:
+		r1 = time.Duration(st.Active)
+	}
+	m.opts.Trace.RecordCycle(trace.Sample{
+		Cycle:  m.stats.Cycles,
+		Active: st.Active,
+		R1:     r1,
+		R2:     r2,
+	})
+}
+
+// balance runs one load-balancing phase, charges its cost, and resets the
+// search-phase accumulators.
+func (m *machine[S]) balance(initPhase bool) {
+	ctx := &Context[S]{
+		Stacks:       m.stacks,
+		Splitter:     m.sch.Splitter,
+		Topo:         m.topo,
+		recordDonors: m.opts.Trace.WantDonors(),
+	}
+	rounds, transfers := m.sch.Balancer.Balance(ctx)
+	var cost time.Duration
+	if pc, ok := m.sch.Balancer.(PhaseCoster); ok {
+		cost = pc.PhaseCost(m.costs, m.topo, m.stats.P, rounds)
+	} else {
+		cost = m.costs.PhaseCost(m.topo, m.stats.P, rounds)
+	}
+	cost += m.costs.MessageCost(m.topo, m.stats.P, ctx.maxTransfer)
+
+	m.stats.Tpar += cost
+	m.stats.Tlb += cost * time.Duration(m.stats.P)
+	m.stats.LBPhases++
+	m.stats.Transfers += transfers
+	if initPhase {
+		m.stats.InitPhases++
+	}
+	if ctx.maxTransfer > m.stats.MaxTransfer {
+		m.stats.MaxTransfer = ctx.maxTransfer
+	}
+	m.estLB = cost
+	m.phaseCycles = 0
+	m.phaseElapsed = 0
+	m.phaseWork = 0
+	m.phaseIdle = 0
+	if m.opts.Trace != nil {
+		m.opts.Trace.RecordPhase(trace.Event{
+			Cycle:     m.stats.Cycles,
+			Transfers: transfers,
+			Cost:      cost,
+			Donors:    ctx.donors,
+		})
+	}
+}

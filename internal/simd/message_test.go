@@ -1,0 +1,102 @@
+package simd
+
+import (
+	"testing"
+	"time"
+
+	"simdtree/internal/stack"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/topology"
+)
+
+func TestMessageCost(t *testing.T) {
+	c := CM2Costs()
+	if c.MessageCost(topology.CM2{}, 1024, 100) != 0 {
+		t.Error("message cost should be zero under the paper's constant-size model")
+	}
+	c.PerNodeTransfer = time.Millisecond
+	if got := c.MessageCost(topology.CM2{}, 1024, 100); got != 100*time.Millisecond {
+		t.Errorf("message cost %v, want 100ms", got)
+	}
+	// Scaled by topology steps and LBScale.
+	c.LBScale = 2
+	if got := c.MessageCost(topology.CM2{}, 1024, 100); got != 200*time.Millisecond {
+		t.Errorf("scaled message cost %v, want 200ms", got)
+	}
+	if c.MessageCost(topology.CM2{}, 1024, 0) != 0 {
+		t.Error("no nodes moved means no message cost")
+	}
+}
+
+// TestPerNodeCostPenalisesBulkSplits runs the same search with both
+// splitters under a per-node transfer cost and verifies the accounting
+// reacts: the half-stack variant must pay more per phase (its Tlb per
+// phase exceeds bottom-node's), since it ships bulk messages.
+func TestPerNodeCostPenalisesBulkSplits(t *testing.T) {
+	tree := synthetic.New(60000, 0x88)
+	run := func(split stack.Splitter[synthetic.Node]) (perPhase float64, maxTransfer int) {
+		sch, err := ParseScheme[synthetic.Node]("GP-S0.85")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch.Splitter = split
+		opts := Options{P: 128}
+		opts.Costs = CM2Costs()
+		opts.Costs.PerNodeTransfer = time.Millisecond
+		st, err := Run[synthetic.Node](tree, sch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(st.Tlb) / float64(st.LBPhases), st.MaxTransfer
+	}
+	bottomPer, bottomMax := run(stack.BottomNode[synthetic.Node]{})
+	halfPer, halfMax := run(stack.HalfStack[synthetic.Node]{})
+	if bottomMax != 1 {
+		t.Errorf("bottom-node max transfer %d, want 1", bottomMax)
+	}
+	if halfMax <= 1 {
+		t.Errorf("half-stack max transfer %d, want > 1", halfMax)
+	}
+	if halfPer <= bottomPer {
+		t.Errorf("half-stack per-phase cost %.0f should exceed bottom-node %.0f under per-node pricing",
+			halfPer, bottomPer)
+	}
+}
+
+func TestDKGammaParse(t *testing.T) {
+	sch, err := ParseScheme[synthetic.Node]("GP-DK0.50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Label != "GP-DK0.50" {
+		t.Errorf("label %q", sch.Label)
+	}
+	if _, err := ParseScheme[synthetic.Node]("GP-DK-1"); err == nil {
+		t.Error("negative gamma accepted")
+	}
+}
+
+// TestDKGammaTradeoff: smaller gamma balances more often.  The effect
+// shows when per-cycle idle time is small against the gamma*L*P
+// threshold, i.e. while the machine stays mostly busy — a modest P with a
+// modest tree keeps it in that regime.
+func TestDKGammaTradeoff(t *testing.T) {
+	tree := synthetic.New(6000, 0xAB8)
+	phases := map[string]int{}
+	for _, label := range []string{"GP-DK0.25", "GP-DK4.00"} {
+		sch, err := ParseScheme[synthetic.Node](label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch.WantInit = true
+		st, err := Run[synthetic.Node](tree, sch, Options{P: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases[label] = st.LBPhases
+	}
+	if phases["GP-DK0.25"] <= phases["GP-DK4.00"] {
+		t.Errorf("gamma 0.25 balanced %d times, gamma 4 %d times; expected more phases at smaller gamma",
+			phases["GP-DK0.25"], phases["GP-DK4.00"])
+	}
+}

@@ -1,0 +1,51 @@
+package simd
+
+import (
+	"testing"
+
+	"simdtree/internal/synthetic"
+)
+
+func TestProgressCallback(t *testing.T) {
+	var snaps []ProgressInfo
+	sch, _ := ParseScheme[synthetic.Node]("GP-S0.85")
+	opts := Options{
+		P:             64,
+		ProgressEvery: 50,
+		Progress:      func(p ProgressInfo) { snaps = append(snaps, p) },
+	}
+	st, err := Run[synthetic.Node](synthetic.New(40000, 3), sch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress callbacks fired")
+	}
+	want := st.Cycles / 50
+	if len(snaps) != want {
+		t.Errorf("%d callbacks, want %d (every 50 of %d cycles)", len(snaps), want, st.Cycles)
+	}
+	prev := ProgressInfo{}
+	for _, s := range snaps {
+		if s.Cycles <= prev.Cycles || s.W < prev.W || s.Tpar <= prev.Tpar {
+			t.Fatalf("progress not monotone: %+v after %+v", s, prev)
+		}
+		if s.Active < 0 || s.Active > 64 {
+			t.Fatalf("active out of range: %+v", s)
+		}
+		prev = s
+	}
+}
+
+func TestProgressDefaultCadence(t *testing.T) {
+	calls := 0
+	sch, _ := ParseScheme[synthetic.Node]("GP-S0.85")
+	opts := Options{P: 16, Progress: func(ProgressInfo) { calls++ }}
+	st, err := Run[synthetic.Node](synthetic.New(5000, 3), sch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := st.Cycles / 1000; calls != want {
+		t.Errorf("%d callbacks with default cadence over %d cycles, want %d", calls, st.Cycles, want)
+	}
+}

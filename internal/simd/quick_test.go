@@ -1,0 +1,64 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"simdtree/internal/synthetic"
+)
+
+// TestEngineConservationQuick property-checks the engine over random
+// (tree, machine size, scheme) combinations: the exhaustive parallel
+// search always expands exactly the tree's node count, the accounting
+// identity holds, and the efficiency is a valid fraction.
+func TestEngineConservationQuick(t *testing.T) {
+	labels := []string{"GP-S0.50", "GP-S0.90", "nGP-S0.75", "GP-DK", "nGP-DP", "GP-DP"}
+	f := func(wRaw uint16, seed uint64, pRaw uint8, schemeRaw uint8) bool {
+		w := int64(wRaw)%20000 + 1
+		p := 1 << (uint(pRaw) % 8) // 1..128 processors
+		label := labels[int(schemeRaw)%len(labels)]
+		sch, err := ParseScheme[synthetic.Node](label)
+		if err != nil {
+			return false
+		}
+		st, err := Run[synthetic.Node](synthetic.New(w, seed), sch, Options{P: p})
+		if err != nil {
+			return false
+		}
+		if st.W != w || st.BalanceCheck() != 0 {
+			t.Logf("label=%s w=%d p=%d: W=%d residual=%v", label, w, p, st.W, st.BalanceCheck())
+			return false
+		}
+		e := st.Efficiency()
+		return e > 0 && e <= 1
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineRerunIdentical property-checks determinism: running the same
+// configuration twice yields identical statistics (the schemes are
+// stateful, so Run must reset them).
+func TestEngineRerunIdentical(t *testing.T) {
+	sch, err := ParseScheme[synthetic.Node]("GP-DK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := synthetic.New(30000, 0xABCD)
+	first, err := Run[synthetic.Node](tree, sch, Options{P: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run[synthetic.Node](tree, sch, Options{P: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("re-running the same scheme instance diverged:\n%+v\n%+v", first, second)
+	}
+}

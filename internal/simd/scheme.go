@@ -1,0 +1,85 @@
+package simd
+
+import (
+	"fmt"
+	"strings"
+
+	"simdtree/internal/match"
+	"simdtree/internal/stack"
+	"simdtree/internal/trigger"
+)
+
+// Scheme couples a triggering mechanism with a load-balancing phase
+// implementation — the two components the paper identifies as making up an
+// efficient SIMD tree search (Section 1).
+type Scheme[S any] struct {
+	// Label identifies the scheme in reports, e.g. "GP-S0.90" or "nGP-DP".
+	Label string
+	// Trigger decides when a load-balancing phase starts.
+	Trigger trigger.Trigger
+	// Balancer performs the phase.
+	Balancer Balancer[S]
+	// Splitter is the alpha-splitting mechanism donors use; nil selects
+	// the paper's bottom-node splitter.
+	Splitter stack.Splitter[S]
+	// WantInit reports that the scheme expects the S^0.85 initial
+	// distribution phase the paper uses for dynamic triggers (Section 7).
+	WantInit bool
+}
+
+// NewScheme assembles a standard scheme from a matcher name ("GP" or
+// "nGP"), a trigger, and the transfer policy.  D^P triggering always uses
+// multiple work transfers per phase, as the paper requires (Section 2.3).
+func NewScheme[S any](matcherName string, trig trigger.Trigger, multi bool) (Scheme[S], error) {
+	var m match.Matcher
+	switch matcherName {
+	case "GP":
+		m = match.NewGP()
+	case "nGP":
+		m = &match.NGP{}
+	default:
+		return Scheme[S]{}, fmt.Errorf("simd: unknown matcher %q", matcherName)
+	}
+	if _, isDP := trig.(trigger.DP); isDP {
+		multi = true
+	}
+	_, dynDP := trig.(trigger.DP)
+	_, dynDK := trig.(trigger.DK)
+	return Scheme[S]{
+		Label:    matcherName + "-" + trig.Name(),
+		Trigger:  trig,
+		Balancer: &MatchBalancer[S]{Matcher: m, Multi: multi},
+		Splitter: stack.BottomNode[S]{},
+		WantInit: dynDP || dynDK,
+	}, nil
+}
+
+// ParseScheme parses a scheme label of the form "<matcher>-<trigger>",
+// e.g. "GP-S0.90", "nGP-DP", "GP-DK".  The six combinations of Table 1 are
+// all expressible; D^P implies multiple transfers.
+func ParseScheme[S any](label string) (Scheme[S], error) {
+	i := strings.Index(label, "-")
+	if i < 0 {
+		return Scheme[S]{}, fmt.Errorf("simd: scheme label %q is not <matcher>-<trigger>", label)
+	}
+	trig, err := trigger.Parse(label[i+1:])
+	if err != nil {
+		return Scheme[S]{}, err
+	}
+	return NewScheme[S](label[:i], trig, false)
+}
+
+// StaticScheme returns <matcher>-S<x>.
+func StaticScheme[S any](matcherName string, x float64) (Scheme[S], error) {
+	return NewScheme[S](matcherName, trigger.Static{X: x}, false)
+}
+
+// Table1Labels lists the six load-balancing schemes of the paper's Table 1
+// for a representative static threshold x.
+func Table1Labels(x float64) []string {
+	s := trigger.Static{X: x}.Name()
+	return []string{
+		"nGP-" + s, "nGP-DP", "nGP-DK",
+		"GP-" + s, "GP-DP", "GP-DK",
+	}
+}

@@ -1,0 +1,84 @@
+package simd
+
+import (
+	"strings"
+	"testing"
+
+	"simdtree/internal/match"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/trigger"
+)
+
+func TestParseSchemeLabels(t *testing.T) {
+	for _, label := range []string{"GP-S0.90", "nGP-S0.50", "GP-DP", "GP-DK", "nGP-DP", "nGP-DK"} {
+		sch, err := ParseScheme[synthetic.Node](label)
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", label, err)
+			continue
+		}
+		if sch.Trigger == nil || sch.Balancer == nil || sch.Splitter == nil {
+			t.Errorf("ParseScheme(%q) left nil components", label)
+		}
+		if !strings.HasPrefix(sch.Label, strings.Split(label, "-")[0]) {
+			t.Errorf("label %q round-tripped to %q", label, sch.Label)
+		}
+	}
+	for _, bad := range []string{"", "GP", "XP-DK", "GP-QZ", "GP-S2.0"} {
+		if _, err := ParseScheme[synthetic.Node](bad); err == nil {
+			t.Errorf("ParseScheme(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDPImpliesMultipleTransfers(t *testing.T) {
+	sch, err := NewScheme[synthetic.Node]("GP", trigger.DP{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, ok := sch.Balancer.(*MatchBalancer[synthetic.Node])
+	if !ok {
+		t.Fatal("expected a MatchBalancer")
+	}
+	if !mb.Multi {
+		t.Error("D^P schemes must use multiple transfers per phase (Section 2.3)")
+	}
+	if !sch.WantInit {
+		t.Error("D^P schemes expect the S^0.85 initial distribution")
+	}
+}
+
+func TestStaticSchemeNoInit(t *testing.T) {
+	sch, err := StaticScheme[synthetic.Node]("nGP", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.WantInit {
+		t.Error("static schemes do not use the initial distribution phase")
+	}
+	if sch.Label != "nGP-S0.80" {
+		t.Errorf("label %q", sch.Label)
+	}
+}
+
+func TestTable1Labels(t *testing.T) {
+	labels := Table1Labels(0.85)
+	if len(labels) != 6 {
+		t.Fatalf("%d labels, want 6 (Table 1)", len(labels))
+	}
+	for _, l := range labels {
+		if _, err := ParseScheme[synthetic.Node](l); err != nil {
+			t.Errorf("Table 1 label %q does not parse: %v", l, err)
+		}
+	}
+}
+
+func TestBalancerNames(t *testing.T) {
+	single := &MatchBalancer[synthetic.Node]{Matcher: match.NewGP()}
+	if single.Name() != "GP" {
+		t.Errorf("Name = %q", single.Name())
+	}
+	multi := &MatchBalancer[synthetic.Node]{Matcher: match.NewGP(), Multi: true}
+	if multi.Name() != "GP*" {
+		t.Errorf("Name = %q", multi.Name())
+	}
+}

@@ -1,0 +1,102 @@
+package simd
+
+import (
+	"testing"
+
+	"simdtree/internal/analysis"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/trace"
+)
+
+// donorCoverageSpan measures, from a donor-captured trace, the largest
+// number of consecutive load-balancing phases needed before the set of
+// donors seen covers every processor that donated at least once in the
+// whole run — an empirical stand-in for the Appendix A/B quantity V(P),
+// the number of phases after which every busy processor has shared its
+// work.
+func donorCoverageSpan(tr *trace.Trace) int {
+	// Processors that never donate were never splittable during a phase,
+	// so they fall outside V(P)'s scope; coverage is over the rest.
+	ever := map[int]bool{}
+	for _, e := range tr.Events {
+		for _, d := range e.Donors {
+			ever[d] = true
+		}
+	}
+	if len(ever) == 0 {
+		return 0
+	}
+	worst := 0
+	for start := 0; start < len(tr.Events); start++ {
+		need := len(ever)
+		seen := map[int]bool{}
+		span := 0
+		for i := start; i < len(tr.Events) && len(seen) < need; i++ {
+			for _, d := range tr.Events[i].Donors {
+				if ever[d] && !seen[d] {
+					seen[d] = true
+				}
+			}
+			span++
+		}
+		if len(seen) < need {
+			break // the tail never covers everyone; stop scanning
+		}
+		if span > worst {
+			worst = span
+		}
+	}
+	return worst
+}
+
+// TestGPDonorRotationBound validates Section 4.1 empirically: under GP
+// matching with static threshold x, every (ever-donating) processor
+// donates within roughly ceil(1/(1-x)) consecutive phases, whereas nGP
+// can take far longer because early-enumerated donors are drained first.
+func TestGPDonorRotationBound(t *testing.T) {
+	const x = 0.80
+	tree := synthetic.New(150000, 0xFEED)
+
+	spans := map[string]int{}
+	for _, matcher := range []string{"GP", "nGP"} {
+		tr := &trace.Trace{CaptureDonors: true}
+		sch, err := StaticScheme[synthetic.Node](matcher, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run[synthetic.Node](tree, sch, Options{P: 64, Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+		spans[matcher] = donorCoverageSpan(tr)
+	}
+
+	bound := int(analysis.VBoundGP(x)) // ceil(1/(1-x)) = 5
+	// The worst-case window includes the fill/drain transients where some
+	// ever-donor is temporarily empty, so the measured span overshoots the
+	// steady-state bound by a constant factor; what must hold is that GP
+	// stays within a small multiple of the bound while nGP — whose donors
+	// at the head of the enumeration are drained over and over — is an
+	// order of magnitude worse (the Appendix B picture).
+	if spans["GP"] > 6*bound {
+		t.Errorf("GP donor coverage span %d far exceeds the V(P) bound %d", spans["GP"], bound)
+	}
+	if spans["GP"]*4 > spans["nGP"] {
+		t.Errorf("GP coverage span %d not clearly better than nGP's %d; rotation is not helping",
+			spans["GP"], spans["nGP"])
+	}
+	t.Logf("coverage spans at x=%.2f: GP=%d (bound %d), nGP=%d", x, spans["GP"], bound, spans["nGP"])
+}
+
+// TestDonorsNotCapturedByDefault keeps the default path allocation-free.
+func TestDonorsNotCapturedByDefault(t *testing.T) {
+	tr := &trace.Trace{}
+	sch, _ := ParseScheme[synthetic.Node]("GP-S0.80")
+	if _, err := Run[synthetic.Node](synthetic.New(5000, 1), sch, Options{P: 32, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if e.Donors != nil {
+			t.Fatal("donors recorded without CaptureDonors")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package stack implements the depth-first-search stack representation the
+// paper uses for the part of the search space assigned to a processor
+// (Section 2): the depth of the stack is the depth of the node currently
+// being explored, and each level keeps the untried alternatives at that
+// depth.  A processor's unsearched space is partitioned by moving some of
+// the untried alternatives to a second stack; the package provides the
+// splitting strategies ("alpha-splitting mechanisms", Section 3) the paper
+// discusses: giving away the node at the bottom of the stack (the paper's
+// choice for the 15-puzzle), halving every level, and the deliberately poor
+// top-node splitter used for ablations.
+package stack
+
+// Stack holds the untried alternatives of a depth-first search, one slice
+// per tree level.  Level 0 is the shallowest.  The zero value is an empty
+// stack ready for use.
+type Stack[S any] struct {
+	levels [][]S
+	size   int
+	// free recycles the backing arrays of emptied levels so the hot
+	// expansion path (PushLevelCopy after every node expansion) runs
+	// without allocating.  It is bounded to keep memory proportional to
+	// the live stack.
+	free [][]S
+}
+
+// maxFree bounds the per-stack recycle list.
+const maxFree = 8
+
+// New returns a stack seeded with the given root-level alternatives.
+func New[S any](roots ...S) *Stack[S] {
+	s := &Stack[S]{}
+	if len(roots) > 0 {
+		s.PushLevel(roots)
+	}
+	return s
+}
+
+// Size returns the total number of untried alternatives on the stack.
+func (s *Stack[S]) Size() int { return s.size }
+
+// Empty reports whether no untried alternatives remain.
+func (s *Stack[S]) Empty() bool { return s.size == 0 }
+
+// Depth returns the number of levels currently on the stack.
+func (s *Stack[S]) Depth() int { return len(s.levels) }
+
+// Splittable reports whether the stack can be divided into two non-empty
+// parts; the paper calls a processor with a splittable stack "busy".
+func (s *Stack[S]) Splittable() bool { return s.size >= 2 }
+
+// PushLevel pushes the untried alternatives of a newly expanded node as a
+// deeper level.  Empty slices are ignored.  The stack takes ownership of
+// the slice.
+func (s *Stack[S]) PushLevel(alts []S) {
+	if len(alts) == 0 {
+		return
+	}
+	s.levels = append(s.levels, alts)
+	s.size += len(alts)
+}
+
+// Pop removes and returns the next node in depth-first order: the last
+// untried alternative of the deepest level.  It reports false when the
+// stack is empty.
+func (s *Stack[S]) Pop() (S, bool) {
+	var zero S
+	if s.size == 0 {
+		return zero, false
+	}
+	top := len(s.levels) - 1
+	lv := s.levels[top]
+	n := len(lv) - 1
+	node := lv[n]
+	lv[n] = zero // release the reference for the garbage collector
+	s.levels[top] = lv[:n]
+	s.size--
+	s.trim()
+	return node, true
+}
+
+// trim drops empty levels from the top of the stack, recycling their
+// backing arrays.
+func (s *Stack[S]) trim() {
+	for len(s.levels) > 0 && len(s.levels[len(s.levels)-1]) == 0 {
+		top := len(s.levels) - 1
+		if lv := s.levels[top]; cap(lv) > 0 && len(s.free) < maxFree {
+			s.free = append(s.free, lv[:0])
+		}
+		s.levels[top] = nil
+		s.levels = s.levels[:top]
+	}
+}
+
+// PushLevelCopy pushes a copy of alts as a deeper level, reusing a
+// recycled backing array when one is large enough.  Unlike PushLevel it
+// does not take ownership of alts, so callers may reuse their buffer —
+// this is the engine's per-expansion fast path.
+func (s *Stack[S]) PushLevelCopy(alts []S) {
+	if len(alts) == 0 {
+		return
+	}
+	var lv []S
+	for i := len(s.free) - 1; i >= 0; i-- {
+		if cap(s.free[i]) >= len(alts) {
+			lv = s.free[i][:len(alts)]
+			s.free[i] = s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+			break
+		}
+	}
+	if lv == nil {
+		lv = make([]S, len(alts))
+	}
+	copy(lv, alts)
+	s.levels = append(s.levels, lv)
+	s.size += len(alts)
+}
+
+// removeBottom removes and returns the first alternative of the shallowest
+// non-empty level: the node closest to the root, which (in an unstructured
+// tree) roots the largest expected subtree on the stack.
+func (s *Stack[S]) removeBottom() (S, bool) {
+	var zero S
+	for i, lv := range s.levels {
+		if len(lv) == 0 {
+			continue
+		}
+		node := lv[0]
+		copy(lv, lv[1:])
+		lv[len(lv)-1] = zero
+		s.levels[i] = lv[:len(lv)-1]
+		s.size--
+		s.trim()
+		return node, true
+	}
+	return zero, false
+}
+
+// Append merges the donated stack d into s, appending its levels above the
+// current top.  The donor stack is emptied.  Receivers use it to install
+// transferred work; because every node carries its own path cost, the level
+// renumbering does not affect search correctness.
+func (s *Stack[S]) Append(d *Stack[S]) {
+	for _, lv := range d.levels {
+		if len(lv) > 0 {
+			s.levels = append(s.levels, lv)
+			s.size += len(lv)
+		}
+	}
+	d.levels = nil
+	d.size = 0
+}
+
+// Clone returns a deep structural copy of the stack (node values are
+// copied with assignment).
+func (s *Stack[S]) Clone() *Stack[S] {
+	c := &Stack[S]{size: s.size, levels: make([][]S, len(s.levels))}
+	for i, lv := range s.levels {
+		c.levels[i] = append([]S(nil), lv...)
+	}
+	return c
+}
+
+// ForEachLevel calls f on every level in bottom-to-top order.  The slices
+// are the stack's own storage and must not be mutated; serialisers use
+// this to preserve level structure without copying.
+func (s *Stack[S]) ForEachLevel(f func(level []S)) {
+	for _, lv := range s.levels {
+		f(lv)
+	}
+}
+
+// Flatten returns all untried alternatives in bottom-to-top order; it is
+// intended for tests and diagnostics.
+func (s *Stack[S]) Flatten() []S {
+	out := make([]S, 0, s.size)
+	for _, lv := range s.levels {
+		out = append(out, lv...)
+	}
+	return out
+}
+
+// A Splitter divides the work on a stack into two non-empty parts, leaving
+// one part on the donor stack and returning the other.  Implementations
+// must not be called on stacks with fewer than two nodes; callers guard
+// with Splittable.
+type Splitter[S any] interface {
+	// Name identifies the splitter in reports.
+	Name() string
+	// Split removes part of s and returns it as a freshly allocated
+	// stack.  After the call both s and the result are non-empty,
+	// provided s.Splittable() held beforehand.
+	Split(s *Stack[S]) *Stack[S]
+}
+
+// BottomNode donates the single alternative at the bottom of the stack.
+// For the 15-puzzle "this appears to provide a reasonable alpha-splitting
+// mechanism" (Section 5): the bottom node roots the largest untried
+// subtree.
+type BottomNode[S any] struct{}
+
+// Name implements Splitter.
+func (BottomNode[S]) Name() string { return "bottom-node" }
+
+// Split implements Splitter.
+func (BottomNode[S]) Split(s *Stack[S]) *Stack[S] {
+	node, ok := s.removeBottom()
+	if !ok {
+		return New[S]()
+	}
+	return New(node)
+}
+
+// HalfStack donates the first half of the alternatives of every level,
+// approximating an alpha of one half in stack-node terms.
+type HalfStack[S any] struct{}
+
+// Name implements Splitter.
+func (HalfStack[S]) Name() string { return "half-stack" }
+
+// Split implements Splitter.
+func (HalfStack[S]) Split(s *Stack[S]) *Stack[S] {
+	out := New[S]()
+	moved := 0
+	for i, lv := range s.levels {
+		k := len(lv) / 2
+		if k == 0 {
+			continue
+		}
+		donated := append([]S(nil), lv[:k]...)
+		rest := lv[:copy(lv, lv[k:])]
+		// Zero the vacated tail so the garbage collector can reclaim nodes.
+		var zero S
+		for j := len(rest); j < len(lv); j++ {
+			lv[j] = zero
+		}
+		s.levels[i] = rest
+		s.size -= k
+		moved += k
+		out.PushLevel(donated)
+	}
+	if moved == 0 {
+		// Every level had a single alternative; fall back to the bottom
+		// node so the split is still non-empty.
+		if node, ok := s.removeBottom(); ok {
+			out.PushLevel([]S{node})
+		}
+	}
+	s.trim()
+	return out
+}
+
+// TopNode donates the single deepest alternative.  It is a deliberately
+// poor splitting mechanism (tiny alpha) included for ablation experiments
+// on splitter quality.
+type TopNode[S any] struct{}
+
+// Name implements Splitter.
+func (TopNode[S]) Name() string { return "top-node" }
+
+// Split implements Splitter.
+func (TopNode[S]) Split(s *Stack[S]) *Stack[S] {
+	node, ok := s.Pop()
+	if !ok {
+		return New[S]()
+	}
+	return New(node)
+}

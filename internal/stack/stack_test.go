@@ -1,0 +1,268 @@
+package stack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopOrder(t *testing.T) {
+	s := New[int]()
+	s.PushLevel([]int{1, 2})
+	s.PushLevel([]int{3, 4, 5})
+	// Depth-first: the deepest level's alternatives come back first, last
+	// alternative first.
+	want := []int{5, 4, 3, 2, 1}
+	for _, w := range want {
+		got, ok := s.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop = %d,%v, want %d", got, ok, w)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop on empty stack should fail")
+	}
+}
+
+func TestSizeDepthAndSplittable(t *testing.T) {
+	s := New(7)
+	if s.Size() != 1 || s.Depth() != 1 || s.Splittable() || s.Empty() {
+		t.Fatalf("unexpected state after New(7): size=%d depth=%d", s.Size(), s.Depth())
+	}
+	s.PushLevel([]int{8, 9})
+	if s.Size() != 3 || s.Depth() != 2 || !s.Splittable() {
+		t.Fatalf("unexpected state: size=%d depth=%d", s.Size(), s.Depth())
+	}
+	s.PushLevel(nil) // ignored
+	if s.Depth() != 2 {
+		t.Error("empty level should be ignored")
+	}
+}
+
+func TestPopTrimsEmptyLevels(t *testing.T) {
+	s := New(1)
+	s.PushLevel([]int{2})
+	s.PushLevel([]int{3})
+	s.Pop() // removes 3 and its level
+	if s.Depth() != 2 {
+		t.Errorf("depth=%d, want 2 after trimming", s.Depth())
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := New(1, 2)
+	b := New(3)
+	b.PushLevel([]int{4, 5})
+	a.Append(b)
+	if a.Size() != 5 {
+		t.Fatalf("size=%d, want 5", a.Size())
+	}
+	if !b.Empty() || b.Depth() != 0 {
+		t.Error("donor stack should be emptied by Append")
+	}
+	got := a.Flatten()
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Flatten=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(1, 2)
+	a.PushLevel([]int{3})
+	b := a.Clone()
+	a.Pop()
+	if b.Size() != 3 {
+		t.Error("clone should be unaffected by mutations of the original")
+	}
+}
+
+func TestPushLevelCopyRecycles(t *testing.T) {
+	s := New[int]()
+	buf := []int{1, 2, 3}
+	s.PushLevelCopy(buf)
+	buf[0] = 99 // caller reuses its buffer; the stack must be unaffected
+	if got := s.Flatten()[0]; got != 1 {
+		t.Errorf("stack aliased the caller's buffer: got %d", got)
+	}
+	// Drain the level so its array lands on the free list, then push a
+	// smaller level: it must reuse the array without allocating.
+	for i := 0; i < 3; i++ {
+		s.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.PushLevelCopy(buf[:2])
+		s.Pop()
+		s.Pop()
+	})
+	if allocs > 0 {
+		t.Errorf("PushLevelCopy allocates %.1f times per cycle after warm-up", allocs)
+	}
+}
+
+// TestRecycledLevelsDropStaleValues ensures reused arrays never leak old
+// node values back into the stack.
+func TestRecycledLevelsDropStaleValues(t *testing.T) {
+	s := New[int]()
+	s.PushLevelCopy([]int{10, 11, 12})
+	for i := 0; i < 3; i++ {
+		s.Pop()
+	}
+	s.PushLevelCopy([]int{20})
+	got := s.Flatten()
+	if len(got) != 1 || got[0] != 20 {
+		t.Errorf("stale values leaked: %v", got)
+	}
+}
+
+// buildRandom constructs a random multi-level stack whose node values are
+// all distinct, for split-invariant checks.
+func buildRandom(rng *rand.Rand) *Stack[int] {
+	s := New[int]()
+	next := 0
+	levels := 1 + rng.Intn(6)
+	for l := 0; l < levels; l++ {
+		width := 1 + rng.Intn(4)
+		lv := make([]int, width)
+		for i := range lv {
+			lv[i] = next
+			next++
+		}
+		s.PushLevel(lv)
+	}
+	return s
+}
+
+// TestSplitInvariants property-checks every splitter: after a split of a
+// splittable stack, (1) no node is lost or duplicated, (2) both parts are
+// non-empty — the alpha-splitting contract of Section 3.
+func TestSplitInvariants(t *testing.T) {
+	splitters := []Splitter[int]{BottomNode[int]{}, HalfStack[int]{}, TopNode[int]{}}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		for _, sp := range splitters {
+			s := buildRandom(rng)
+			if !s.Splittable() {
+				continue
+			}
+			before := append([]int(nil), s.Flatten()...)
+			donated := sp.Split(s)
+			if donated.Empty() {
+				t.Fatalf("%s: donated part empty (stack had %d nodes)", sp.Name(), len(before))
+			}
+			if s.Empty() {
+				t.Fatalf("%s: donor left empty", sp.Name())
+			}
+			after := append(s.Flatten(), donated.Flatten()...)
+			sort.Ints(before)
+			sort.Ints(after)
+			if len(before) != len(after) {
+				t.Fatalf("%s: node count changed %d -> %d", sp.Name(), len(before), len(after))
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("%s: node multiset changed", sp.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestBottomNodeTakesShallowest(t *testing.T) {
+	s := New(10, 11)
+	s.PushLevel([]int{20})
+	d := BottomNode[int]{}.Split(s)
+	got := d.Flatten()
+	if len(got) != 1 || got[0] != 10 {
+		t.Errorf("bottom-node split donated %v, want [10]", got)
+	}
+}
+
+func TestTopNodeTakesDeepest(t *testing.T) {
+	s := New(10, 11)
+	s.PushLevel([]int{20, 21})
+	d := TopNode[int]{}.Split(s)
+	got := d.Flatten()
+	if len(got) != 1 || got[0] != 21 {
+		t.Errorf("top-node split donated %v, want [21]", got)
+	}
+}
+
+func TestHalfStackHalvesEachLevel(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	s.PushLevel([]int{5, 6})
+	d := HalfStack[int]{}.Split(s)
+	if d.Size() != 3 { // 2 from the first level, 1 from the second
+		t.Errorf("half-stack donated %d nodes, want 3", d.Size())
+	}
+	got := d.Flatten()
+	want := []int{1, 2, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("donated %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHalfStackSingletonLevels(t *testing.T) {
+	// Every level has one alternative; the fallback must still produce a
+	// non-empty donation.
+	s := New(1)
+	s.PushLevel([]int{2})
+	s.PushLevel([]int{3})
+	d := HalfStack[int]{}.Split(s)
+	if d.Empty() || s.Empty() {
+		t.Error("half-stack fallback failed on singleton levels")
+	}
+	if d.Size()+s.Size() != 3 {
+		t.Error("nodes lost in fallback")
+	}
+}
+
+// TestPopAllMatchesFlatten property-checks that repeatedly popping yields
+// exactly the Flatten multiset.
+func TestPopAllMatchesFlatten(t *testing.T) {
+	f := func(levels [][]byte) bool {
+		s := New[int]()
+		var all []int
+		n := 0
+		for _, lv := range levels {
+			ints := make([]int, len(lv))
+			for i, b := range lv {
+				ints[i] = n
+				_ = b
+				n++
+			}
+			all = append(all, ints...)
+			s.PushLevel(ints)
+		}
+		if s.Size() != len(all) {
+			return false
+		}
+		var popped []int
+		for {
+			v, ok := s.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, v)
+		}
+		if len(popped) != len(all) {
+			return false
+		}
+		sort.Ints(popped)
+		sort.Ints(all)
+		for i := range all {
+			if popped[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"hypercube", "mesh", "cm2", "crossbar"} {
+		net, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if net.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, net.Name())
+		}
+	}
+	if _, err := ByName("torus"); err == nil {
+		t.Error("ByName(torus) should fail")
+	}
+}
+
+func TestHypercubeCosts(t *testing.T) {
+	h := Hypercube{}
+	if got := h.ScanSteps(1024); got != 10 {
+		t.Errorf("ScanSteps(1024) = %v, want 10", got)
+	}
+	if got := h.TransferSteps(1024); got != 100 {
+		t.Errorf("TransferSteps(1024) = %v, want 100", got)
+	}
+	// Degenerate machines still pay one step.
+	if got := h.ScanSteps(1); got != 1 {
+		t.Errorf("ScanSteps(1) = %v, want 1", got)
+	}
+}
+
+func TestMeshCosts(t *testing.T) {
+	m := Mesh{}
+	if got := m.ScanSteps(256); got != 16 {
+		t.Errorf("ScanSteps(256) = %v, want 16", got)
+	}
+	if got := m.TransferSteps(10000); math.Abs(got-100) > 1e-9 {
+		t.Errorf("TransferSteps(10000) = %v, want 100", got)
+	}
+}
+
+func TestConstantCostNetworks(t *testing.T) {
+	for _, p := range []int{2, 64, 65536} {
+		cm2 := CM2{}
+		if cm2.ScanSteps(p) != 1 || cm2.TransferSteps(p) != 1 {
+			t.Errorf("CM2 costs at P=%d should be constant 1", p)
+		}
+		xbar := Crossbar{}
+		if xbar.ScanSteps(p) != 0 || xbar.TransferSteps(p) != 0 {
+			t.Errorf("Crossbar costs at P=%d should be 0", p)
+		}
+	}
+}
+
+// TestNeighborsSymmetric checks that every topology's neighbour relation
+// is symmetric and irreflexive, for both power-of-two and ragged machine
+// sizes.
+func TestNeighborsSymmetric(t *testing.T) {
+	nets := []Network{Hypercube{}, Mesh{}, CM2{}, Crossbar{}}
+	for _, net := range nets {
+		for _, p := range []int{1, 2, 16, 17, 64, 100} {
+			adj := make(map[[2]int]bool)
+			for id := 0; id < p; id++ {
+				for _, n := range net.Neighbors(p, id) {
+					if n == id {
+						t.Fatalf("%s P=%d: %d is its own neighbour", net.Name(), p, id)
+					}
+					if n < 0 || n >= p {
+						t.Fatalf("%s P=%d: neighbour %d of %d out of range", net.Name(), p, n, id)
+					}
+					adj[[2]int{id, n}] = true
+				}
+			}
+			for k := range adj {
+				if !adj[[2]int{k[1], k[0]}] {
+					t.Fatalf("%s P=%d: edge %v not symmetric", net.Name(), p, k)
+				}
+			}
+		}
+	}
+}
+
+func TestHypercubeNeighborsCount(t *testing.T) {
+	// A full d-cube gives every node exactly d neighbours.
+	for id := 0; id < 16; id++ {
+		if got := len(Hypercube{}.Neighbors(16, id)); got != 4 {
+			t.Errorf("P=16 id=%d: %d neighbours, want 4", id, got)
+		}
+	}
+}
+
+func TestMeshNeighborsCorners(t *testing.T) {
+	// On a 4x4 mesh, corners have 2 neighbours, edges 3, interior 4.
+	counts := map[int]int{}
+	for id := 0; id < 16; id++ {
+		counts[len(Mesh{}.Neighbors(16, id))]++
+	}
+	if counts[2] != 4 || counts[3] != 8 || counts[4] != 4 {
+		t.Errorf("mesh neighbour degree histogram %v, want 4x2 8x3 4x4", counts)
+	}
+}
+
+func TestSide(t *testing.T) {
+	for _, c := range []struct{ p, want int }{{1, 1}, {4, 2}, {5, 3}, {16, 4}, {17, 5}} {
+		if got := Side(c.p); got != c.want {
+			t.Errorf("Side(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCrossbarRingNeighbors(t *testing.T) {
+	xbar := Crossbar{}
+	ns := xbar.Neighbors(5, 0)
+	if len(ns) != 2 || ns[0] != 4 || ns[1] != 1 {
+		t.Errorf("Crossbar ring neighbours of 0 = %v, want [4 1]", ns)
+	}
+	if xbar.Neighbors(1, 0) != nil {
+		t.Error("single-processor crossbar should have no neighbours")
+	}
+}

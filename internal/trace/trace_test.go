@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.RecordCycle(Sample{Cycle: 1, Active: 5})
+	tr.RecordPhase(Event{Cycle: 1})
+	if tr.ActiveSeries() != nil {
+		t.Error("nil trace should return nil series")
+	}
+	if a, c := tr.MinActive(); a != 0 || c != -1 {
+		t.Errorf("nil trace MinActive = %d,%d", a, c)
+	}
+}
+
+func TestRecording(t *testing.T) {
+	tr := &Trace{}
+	tr.RecordCycle(Sample{Cycle: 0, Active: 10, R1: time.Millisecond})
+	tr.RecordCycle(Sample{Cycle: 1, Active: 3})
+	tr.RecordCycle(Sample{Cycle: 2, Active: 7})
+	tr.RecordPhase(Event{Cycle: 1, Transfers: 4, Cost: 13 * time.Millisecond})
+
+	series := tr.ActiveSeries()
+	want := []int{10, 3, 7}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("series %v, want %v", series, want)
+		}
+	}
+	if a, c := tr.MinActive(); a != 3 || c != 1 {
+		t.Errorf("MinActive = %d at %d, want 3 at 1", a, c)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Transfers != 4 {
+		t.Errorf("events %v", tr.Events)
+	}
+}
+
+func TestMinActiveEmpty(t *testing.T) {
+	tr := &Trace{}
+	if a, c := tr.MinActive(); a != 0 || c != -1 {
+		t.Errorf("empty trace MinActive = %d,%d", a, c)
+	}
+}

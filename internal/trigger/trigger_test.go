@@ -1,0 +1,201 @@
+package trigger
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestStatic(t *testing.T) {
+	tr := Static{X: 0.75}
+	cases := []struct {
+		active int
+		want   bool
+	}{
+		{100, false}, {76, false}, {75, true}, {10, true}, {0, true},
+	}
+	for _, c := range cases {
+		got := tr.ShouldBalance(State{P: 100, Active: c.active})
+		if got != c.want {
+			t.Errorf("S0.75 with A=%d: %v, want %v", c.active, got, c.want)
+		}
+	}
+	if tr.Name() != "S0.75" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+}
+
+func TestDPTriggersWhenWorkAreaExceeds(t *testing.T) {
+	tr := DP{}
+	// w >= A*(t+L): with A=4, t=100ms, L=25ms, threshold is 500ms of work.
+	base := State{P: 8, Active: 4, Elapsed: ms(100), EstLB: ms(25)}
+	s := base
+	s.Work = ms(499)
+	if tr.ShouldBalance(s) {
+		t.Error("DP fired below the threshold")
+	}
+	s.Work = ms(500)
+	if !tr.ShouldBalance(s) {
+		t.Error("DP failed to fire at the threshold")
+	}
+}
+
+// TestDPStarvation reproduces the Section 6.1 failure mode: with one
+// active processor, R1 = w - A*t stays at zero, so D^P never triggers no
+// matter how long the search runs (as long as L > 0).
+func TestDPStarvation(t *testing.T) {
+	tr := DP{}
+	for cycles := 1; cycles <= 1000; cycles *= 10 {
+		el := time.Duration(cycles) * ms(30)
+		s := State{
+			P:       1024,
+			Active:  1,
+			Elapsed: el,
+			Work:    el, // one processor working the whole time: w = 1*t
+			Idle:    time.Duration(1023) * el,
+			EstLB:   ms(13),
+		}
+		if tr.ShouldBalance(s) {
+			t.Fatalf("DP triggered with a single active processor after %d cycles", cycles)
+		}
+	}
+}
+
+// TestDKFiresUnderStarvation shows D^K handles the same scenario: idle
+// time accumulates and crosses L*P quickly.
+func TestDKFiresUnderStarvation(t *testing.T) {
+	tr := DK{}
+	el := ms(30) // one cycle
+	s := State{
+		P:      1024,
+		Active: 1,
+		Idle:   1023 * el, // ~30.7 s of idling
+		EstLB:  ms(13),    // L*P = 13.3 s
+	}
+	if !tr.ShouldBalance(s) {
+		t.Error("DK failed to fire despite idle time exceeding L*P")
+	}
+}
+
+func TestDKThreshold(t *testing.T) {
+	tr := DK{}
+	s := State{P: 100, EstLB: ms(10)} // threshold: 1000ms of idle
+	s.Idle = ms(999)
+	if tr.ShouldBalance(s) {
+		t.Error("DK fired below L*P")
+	}
+	s.Idle = ms(1000)
+	if !tr.ShouldBalance(s) {
+		t.Error("DK failed at L*P")
+	}
+}
+
+// TestDPLateWithExpensiveLB checks observation 3 of Section 6.1: raising
+// L delays D^P.
+func TestDPLateWithExpensiveLB(t *testing.T) {
+	tr := DP{}
+	s := State{P: 8, Active: 4, Elapsed: ms(100), Work: ms(500)}
+	s.EstLB = ms(25)
+	if !tr.ShouldBalance(s) {
+		t.Fatal("setup broken: DP should fire at cheap L")
+	}
+	s.EstLB = ms(400) // 16x the cost
+	if tr.ShouldBalance(s) {
+		t.Error("DP should be delayed by an expensive LB phase")
+	}
+}
+
+func TestDKGamma(t *testing.T) {
+	tr := DKGamma{Gamma: 2}
+	if tr.Name() != "DK2.00" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	tr.Reset()                        // stateless
+	s := State{P: 100, EstLB: ms(10)} // threshold: 2 * 1000ms of idle
+	s.Idle = ms(1999)
+	if tr.ShouldBalance(s) {
+		t.Error("DKGamma fired below gamma*L*P")
+	}
+	s.Idle = ms(2000)
+	if !tr.ShouldBalance(s) {
+		t.Error("DKGamma failed at gamma*L*P")
+	}
+	// Gamma 1 coincides with the paper's DK.
+	one := DKGamma{Gamma: 1}
+	for _, idle := range []time.Duration{ms(999), ms(1000), ms(5000)} {
+		s.Idle = idle
+		if one.ShouldBalance(s) != (DK{}).ShouldBalance(s) {
+			t.Errorf("DKGamma(1) diverges from DK at idle=%v", idle)
+		}
+	}
+}
+
+func TestParseDKGamma(t *testing.T) {
+	tr, err := Parse("DK2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := tr.(DKGamma)
+	if !ok || g.Gamma != 2.5 {
+		t.Errorf("Parse(DK2.5) = %#v", tr)
+	}
+	// Bare "DK" still parses as the paper's trigger.
+	if tr, _ := Parse("DK"); tr.Name() != "DK" {
+		t.Error("bare DK no longer parses")
+	}
+	for _, bad := range []string{"DK0", "DK-3", "DKx"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAnyIdleAndAlways(t *testing.T) {
+	if (AnyIdle{}).ShouldBalance(State{P: 8, Active: 8}) {
+		t.Error("AnyIdle fired on a full machine")
+	}
+	if !(AnyIdle{}).ShouldBalance(State{P: 8, Active: 7}) {
+		t.Error("AnyIdle failed with one idle processor")
+	}
+	if !(Always{}).ShouldBalance(State{P: 8, Active: 8}) {
+		t.Error("Always must always fire")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"S0.85", "S0.85"},
+		{"S0.5", "S0.50"},
+		{"DP", "DP"},
+		{"DK", "DK"},
+		{"anyidle", "anyidle"},
+		{"always", "always"},
+	}
+	for _, c := range cases {
+		tr, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if tr.Name() != c.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.in, tr.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "S", "S1.5", "S-0.2", "DX", "Zed"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// TestResetIsNoop documents that all built-in triggers are stateless.
+func TestResetIsNoop(t *testing.T) {
+	for _, tr := range []Trigger{Static{X: 0.5}, DP{}, DK{}, AnyIdle{}, Always{}} {
+		tr.Reset()
+		_ = tr.Name()
+	}
+}

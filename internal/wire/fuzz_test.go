@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"testing"
+
+	"simdtree/internal/puzzle"
+	"simdtree/internal/stack"
+)
+
+// FuzzDecodeStack feeds arbitrary bytes to the stack decoder: it must
+// either parse cleanly or return an error — never panic or loop.
+func FuzzDecodeStack(f *testing.F) {
+	c := PuzzleCodec{}
+	s := stack.New(puzzle.Goal(), puzzle.Scramble(1, 10))
+	s.PushLevel([]puzzle.Node{puzzle.Scramble(2, 5)})
+	f.Add(EncodeStack[puzzle.Node](c, s))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeStack[puzzle.Node](c, data)
+		if err != nil {
+			return
+		}
+		// Semantic round-trip: re-encoding and decoding again must yield
+		// the same stack.  (Byte-identity would additionally require
+		// rejecting non-minimal varints, which the format tolerates.)
+		round := EncodeStack[puzzle.Node](c, got)
+		again, err := DecodeStack[puzzle.Node](c, round)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if again.Size() != got.Size() || again.Depth() != got.Depth() {
+			t.Errorf("round trip changed shape: %d/%d -> %d/%d",
+				got.Size(), got.Depth(), again.Size(), again.Depth())
+		}
+		a, b := got.Flatten(), again.Flatten()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed node %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeNode checks the node decoder on arbitrary input.
+func FuzzDecodeNode(f *testing.F) {
+	c := PuzzleCodec{}
+	f.Add(c.AppendNode(nil, puzzle.Goal()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, rest, err := c.DecodeNode(data)
+		if err != nil {
+			return
+		}
+		if len(data)-len(rest) != puzzleNodeSize {
+			t.Error("decoder consumed the wrong number of bytes")
+		}
+		_ = n
+	})
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
+	"simdtree/internal/stack"
+	"simdtree/internal/synthetic"
+)
+
+// TestPuzzleCodecRoundTrip property-checks encode/decode over random
+// reachable positions.
+func TestPuzzleCodecRoundTrip(t *testing.T) {
+	c := PuzzleCodec{}
+	f := func(seed uint64, steps uint8) bool {
+		n := puzzle.Scramble(seed, int(steps%80))
+		n.G = uint16(seed % 50)
+		n.Prev = uint8(seed % 4)
+		buf := c.AppendNode(nil, n)
+		if len(buf) != puzzleNodeSize {
+			return false
+		}
+		got, rest, err := c.DecodeNode(buf)
+		return err == nil && len(rest) == 0 && got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPuzzleCodecTruncated(t *testing.T) {
+	c := PuzzleCodec{}
+	buf := c.AppendNode(nil, puzzle.Goal())
+	if _, _, err := c.DecodeNode(buf[:5]); err == nil {
+		t.Error("truncated node accepted")
+	}
+}
+
+func TestSyntheticCodecRoundTrip(t *testing.T) {
+	c := SyntheticCodec{}
+	f := func(budget int64, seed uint64) bool {
+		if budget < 0 {
+			budget = -budget
+		}
+		n := synthetic.Node{Budget: budget, Seed: seed}
+		got, rest, err := c.DecodeNode(c.AppendNode(nil, n))
+		return err == nil && len(rest) == 0 && got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueensCodecRoundTrip(t *testing.T) {
+	c := QueensCodec{}
+	d := queens.New(10)
+	n := d.Root()
+	for depth := 0; depth < 5; depth++ {
+		buf := c.AppendNode(nil, n)
+		got, rest, err := c.DecodeNode(buf)
+		if err != nil || len(rest) != 0 || got != n {
+			t.Fatalf("round trip failed at depth %d: %v", depth, err)
+		}
+		children := d.Expand(n, nil)
+		if len(children) == 0 {
+			break
+		}
+		n = children[0]
+	}
+}
+
+// TestStackRoundTrip encodes whole stacks (with level structure) and
+// decodes them back.
+func TestStackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := PuzzleCodec{}
+	for trial := 0; trial < 100; trial++ {
+		s := stack.New[puzzle.Node]()
+		levels := rng.Intn(5)
+		for l := 0; l < levels; l++ {
+			width := 1 + rng.Intn(3)
+			lv := make([]puzzle.Node, width)
+			for i := range lv {
+				lv[i] = puzzle.Scramble(rng.Uint64(), rng.Intn(30))
+			}
+			s.PushLevel(lv)
+		}
+		msg := EncodeStack[puzzle.Node](c, s)
+		got, err := DecodeStack[puzzle.Node](c, msg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Size() != s.Size() || got.Depth() != s.Depth() {
+			t.Fatalf("trial %d: size/depth changed: %d/%d -> %d/%d",
+				trial, s.Size(), s.Depth(), got.Size(), got.Depth())
+		}
+		a, b := s.Flatten(), got.Flatten()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: node %d changed", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeStackErrors(t *testing.T) {
+	c := PuzzleCodec{}
+	if _, err := DecodeStack[puzzle.Node](c, nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	s := stack.New(puzzle.Goal())
+	msg := EncodeStack[puzzle.Node](c, s)
+	if _, err := DecodeStack[puzzle.Node](c, msg[:len(msg)-1]); err == nil {
+		t.Error("truncated stack accepted")
+	}
+	if _, err := DecodeStack[puzzle.Node](c, append(msg, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestNodeSizeAndPerNodeTime(t *testing.T) {
+	c := PuzzleCodec{}
+	if got := NodeSize[puzzle.Node](c, puzzle.Goal()); got != puzzleNodeSize {
+		t.Errorf("NodeSize = %d, want %d", got, puzzleNodeSize)
+	}
+	// 14 bytes at 14 KB/s is one millisecond.
+	if got := PerNodeTime[puzzle.Node](c, puzzle.Goal(), 14_000); got != time.Millisecond {
+		t.Errorf("PerNodeTime = %v, want 1ms", got)
+	}
+	if PerNodeTime[puzzle.Node](c, puzzle.Goal(), 0) != 0 {
+		t.Error("zero bandwidth should give zero cost")
+	}
+}
+
+// TestMessageCompactness documents the paper's compactness claim: a
+// donated bottom-node message is tens of bytes, not kilobytes.
+func TestMessageCompactness(t *testing.T) {
+	s := stack.New(puzzle.Scramble(3, 20))
+	msg := EncodeStack[puzzle.Node](PuzzleCodec{}, s)
+	if len(msg) > 32 {
+		t.Errorf("single-node transfer message is %d bytes; expected a compact few dozen", len(msg))
+	}
+}
