@@ -1,11 +1,13 @@
 # Development entry points.  Everything is standard-library Go; no
-# external dependencies.
+# external dependencies.  "make lint" runs go vet plus the repo's own
+# simdlint analyzers (cmd/simdlint), which enforce the determinism
+# invariants documented in DESIGN.md; it is part of the default target.
 
 GO ?= go
 
-.PHONY: all build test test-race bench fuzz vet fmt experiments-quick experiments-full report clean
+.PHONY: all build test test-race bench fuzz vet lint fmt experiments-quick experiments-full report clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -27,6 +29,11 @@ fuzz:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: determinism (detrand, maporder),
+# float equality, dropped errors, and sync misuse.
+lint: vet
+	$(GO) run ./cmd/simdlint ./...
 
 fmt:
 	gofmt -l -w .

@@ -161,8 +161,7 @@ func dispatch[S any](s *experiments.Suite[S], scale experiments.Scale, cmd strin
 		}
 		return saveCSV(csvDir, "table5.csv", func(w io.Writer) error { return experiments.Table5CSV(rows, w) })
 	case "table6":
-		experiments.Table6(out)
-		return nil
+		return experiments.Table6(out)
 	case "fig1":
 		for _, label := range []string{"GP-DP", "GP-DK"} {
 			tr, err := s.Fig1(label, s.Workloads[0])
@@ -180,7 +179,9 @@ func dispatch[S any](s *experiments.Suite[S], scale experiments.Scale, cmd strin
 		if err != nil {
 			return err
 		}
-		experiments.Fig3(rows, out)
+		if err := experiments.Fig3(rows, out); err != nil {
+			return err
+		}
 		return saveCSV(csvDir, "fig3.csv", func(w io.Writer) error { return experiments.Table2CSV(rows, w) })
 	case "fig4":
 		res, err := experiments.IsoGrid(experiments.Fig4Labels(), scale.GridPs, scale.GridWs, scale.Workers, isoLevels, out)
@@ -274,8 +275,12 @@ func dispatch[S any](s *experiments.Suite[S], scale experiments.Scale, cmd strin
 		if err := saveCSV(csvDir, "table5.csv", func(w io.Writer) error { return experiments.Table5CSV(t5, w) }); err != nil {
 			return err
 		}
-		experiments.Table6(out)
-		experiments.Fig3(rows, out)
+		if err := experiments.Table6(out); err != nil {
+			return err
+		}
+		if err := experiments.Fig3(rows, out); err != nil {
+			return err
+		}
 		g4, err := experiments.IsoGrid(experiments.Fig4Labels(), scale.GridPs, scale.GridWs, scale.Workers, isoLevels, out)
 		if err != nil {
 			return err

@@ -1,0 +1,139 @@
+// Command simdlint runs the repository's determinism and correctness
+// analyzers (internal/lint) over the module and exits non-zero on any
+// unsuppressed finding, so it can gate CI.
+//
+// Usage:
+//
+//	simdlint [./... | ./internal/simd ...]
+//	simdlint -analyzers
+//
+// With no arguments (or "./...") every non-test package of the enclosing
+// module is checked.  Directory arguments restrict the run; a trailing
+// "/..." includes subdirectories.  Findings print as
+//
+//	path/file.go:line:col: analyzer: message
+//
+// and are suppressed only by an in-source "//lint:allow <analyzer>
+// <reason>" comment (see internal/lint).  Exit status: 0 clean, 1
+// findings, 2 load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"simdtree/internal/lint"
+)
+
+func main() {
+	analyzers := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: simdlint [-analyzers] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *analyzers {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := run(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simdlint:", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		cwd, err := os.Getwd()
+		if err != nil {
+			cwd = "" // fall back to absolute paths in the report
+		}
+		for _, d := range diags {
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					d.Pos.Filename = rel
+				}
+			}
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "simdlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(args []string) ([]lint.Diagnostic, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err = filter(pkgs, args, root)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkgs, lint.Analyzers()), nil
+}
+
+// filter restricts pkgs to the directories named by args.  No args, or
+// any "./..."-style whole-module pattern, keeps everything.
+func filter(pkgs []*lint.Package, args []string, root string) ([]*lint.Package, error) {
+	if len(args) == 0 {
+		return pkgs, nil
+	}
+	var keep []*lint.Package
+	seen := map[string]bool{}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "." {
+			return pkgs, nil
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			recursive = true
+			arg = rest
+		}
+		dir, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, p := range pkgs {
+			if p.Dir == dir || (recursive && strings.HasPrefix(p.Dir+string(filepath.Separator), dir+string(filepath.Separator))) {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					keep = append(keep, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %s (module root %s)", arg, root)
+		}
+	}
+	return keep, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -56,5 +56,7 @@ func main() {
 			sch.Label, stats.Cycles, stats.LBPhases, stats.Transfers,
 			stats.Efficiency(), stats.Speedup())
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -39,6 +39,45 @@ func TestSearchPuzzle(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance is the cross-package determinism regression
+// test: the Workers option only shards the host-side simulation loop, so
+// the same instance must produce field-for-field identical Stats at any
+// worker count.  This is the invariant the simdlint detrand and maporder
+// analyzers exist to protect.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, label := range []string{"GP-S0.80", "GP-DK"} {
+		base, _, err := SearchPuzzle(5, 16, label, Options{P: 16, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 8} {
+			got, _, err := SearchPuzzle(5, 16, label, Options{P: 16, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Errorf("%s: Workers=%d stats differ from Workers=1:\n got %+v\nwant %+v",
+					label, workers, got, base)
+			}
+		}
+	}
+
+	base, err := SearchSynthetic(5000, 1, "GP-DP", Options{P: 32, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		got, err := SearchSynthetic(5000, 1, "GP-DP", Options{P: 32, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Errorf("synthetic: Workers=%d stats differ from Workers=1:\n got %+v\nwant %+v",
+				workers, got, base)
+		}
+	}
+}
+
 func TestRunRejectsBadScheme(t *testing.T) {
 	if _, err := SearchSynthetic(100, 1, "bogus", Options{P: 4}); err == nil {
 		t.Error("bogus scheme accepted")

@@ -63,7 +63,9 @@ func Anomalies(items int, seeds []uint64, ps []int, workers int, out io.Writer) 
 		for _, r := range rows {
 			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.3f\t%v\n", r.Seed, r.P, r.SerialW, r.ParallelW, r.Ratio, r.Optimal)
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }

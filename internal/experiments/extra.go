@@ -51,7 +51,9 @@ func AblationSplitters(w int64, p int, x float64, workers int, out io.Writer) (m
 			st := results[name]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%.3f\n", name, st.Cycles, st.LBPhases, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -88,7 +90,9 @@ func AblationInit(w int64, p, workers int, out io.Writer) (map[string]metrics.St
 			st := results[key]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%.3f\n", key, st.Cycles, st.LBPhases, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -127,7 +131,9 @@ func AblationTransfers(w int64, p, workers int, out io.Writer) (map[string]metri
 			st := results[key]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%d\t%.3f\n", key, st.Cycles, st.LBPhases, st.Transfers, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -163,7 +169,9 @@ func AblationTopology(w int64, p int, x float64, workers int, out io.Writer) (ma
 			st := results[name]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%.3f\n", name, st.Cycles, st.LBPhases, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -210,7 +218,9 @@ func AblationMessageSize(w int64, p, workers int, perNodeMs float64, out io.Writ
 			st := results[key]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%d\t%.3f\n", key, st.Cycles, st.LBPhases, st.MaxTransfer, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -243,7 +253,9 @@ func AblationDKGamma(w int64, p, workers int, out io.Writer) (map[string]metrics
 			st := results[trigger.DKGamma{Gamma: g}.Name()]
 			fmt.Fprintf(tww, "%.2f\t%d\t%d\t%.3f\n", g, st.Cycles, st.LBPhases, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -288,7 +300,9 @@ func AblationHeuristic(scrambleSeed uint64, steps, p, workers int, out io.Writer
 			st := results[name]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%d\t%.3f\n", name, ws[name], st.Cycles, st.LBPhases, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -323,7 +337,9 @@ func BaselineComparison(w int64, p, workers int, out io.Writer) (map[string]metr
 			st := results[label]
 			fmt.Fprintf(tww, "%s\t%d\t%d\t%d\t%.3f\n", label, st.Cycles, st.LBPhases, st.Transfers, st.Efficiency())
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -366,7 +382,9 @@ func MIMDComparison(w int64, p, workers int, seed uint64, out io.Writer) (map[st
 		for _, key := range []string{"SIMD GP-DK", "MIMD GRR", "MIMD ARR", "MIMD RP"} {
 			fmt.Fprintf(tww, "%s\t%.3f\n", key, results[key])
 		}
-		tww.Flush()
+		if err := tww.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }

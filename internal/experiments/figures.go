@@ -36,22 +36,21 @@ func (s *Suite[S]) Fig1(label string, wl Workload[S]) (*trace.Trace, error) {
 		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.1f\n", smp.Cycle, smp.Active,
 			float64(smp.R1)/1e6, float64(smp.R2)/1e6)
 	}
-	w.Flush()
-	return tr, nil
+	return tr, w.Flush()
 }
 
 // Fig3 derives Figure 3 from Table 2 data: the difference in the number
 // of load-balancing phases performed by nGP and GP as a function of the
 // static threshold, for each problem size.  The gap should grow with both
 // x and W.
-func Fig3(rows []Table2Row, out io.Writer) {
+func Fig3(rows []Table2Row, out io.Writer) error {
 	w := tw(out)
 	fmt.Fprintln(w, "# Figure 3: Nlb(nGP) - Nlb(GP) vs static threshold x")
 	fmt.Fprintln(w, "W\tx\tnGP Nlb\tGP Nlb\tdiff")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%.2f\t%d\t%d\t%d\n", r.W, r.X, r.NGP.Nlb, r.GP.Nlb, r.NGP.Nlb-r.GP.Nlb)
 	}
-	w.Flush()
+	return w.Flush()
 }
 
 // GridResult is the outcome of one scheme's isoefficiency grid.
@@ -99,12 +98,14 @@ func IsoGrid(labels []string, ps []int, ws []int64, workers int, levels []float6
 		results = append(results, res)
 	}
 	if out != nil {
-		printGrid(results, levels, out)
+		if err := printGrid(results, levels, out); err != nil {
+			return results, err
+		}
 	}
 	return results, nil
 }
 
-func printGrid(results []GridResult, levels []float64, out io.Writer) {
+func printGrid(results []GridResult, levels []float64, out io.Writer) error {
 	w := tw(out)
 	fmt.Fprintln(w, "# Experimental isoefficiency curves (Figures 4/7 style)")
 	for _, res := range results {
@@ -119,7 +120,9 @@ func printGrid(results []GridResult, levels []float64, out io.Writer) {
 				fmt.Fprintf(w, "%.2f\tfit\tW ~ (P log P)^%.2f\t\n", lv, b)
 			}
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return err
+		}
 		// The paper plots W against P log P per efficiency level; flat
 		// normalised curves confirm O(P log P) isoefficiency.
 		var series []plot.Series
@@ -135,7 +138,7 @@ func printGrid(results []GridResult, levels []float64, out io.Writer) {
 			Title: res.Scheme, XLabel: "P log2 P", YLabel: "W", LogY: true,
 		}, series...))
 	}
-	w.Flush()
+	return w.Flush()
 }
 
 func log2f(p int) float64 {
@@ -199,7 +202,9 @@ func (s *Suite[S]) Fig8(wl Workload[S]) ([]Fig8Series, error) {
 			}
 		}
 		fmt.Fprintf(w, "\n## %s at %.0fx tlb: %d cycles, min active %d\n", sr.Label, sr.LBScale, len(sr.Active), min)
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return series, err
+		}
 		ys := make([]float64, len(sr.Active))
 		for i, a := range sr.Active {
 			ys[i] = float64(a)
@@ -209,6 +214,5 @@ func (s *Suite[S]) Fig8(wl Workload[S]) ([]Fig8Series, error) {
 			XLabel: "node expansion cycle", YLabel: "active processors",
 		}, ys))
 	}
-	w.Flush()
-	return series, nil
+	return series, w.Flush()
 }

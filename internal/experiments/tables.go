@@ -91,8 +91,7 @@ func (s *Suite[S]) Table2(xs []float64) ([]Table2Row, error) {
 				row.GP.Nexpand, row.GP.Nlb, row.GP.E, row.Xo)
 		}
 	}
-	w.Flush()
-	return rows, nil
+	return rows, w.Flush()
 }
 
 // Table3Row is one (W, x) efficiency probe around the analytic optimum.
@@ -128,8 +127,7 @@ func (s *Suite[S]) Table3() ([]Table3Row, error) {
 			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\n", row.W, row.Xo, row.X, row.E)
 		}
 	}
-	w.Flush()
-	return rows, nil
+	return rows, w.Flush()
 }
 
 // Table4Row is one workload row of Table 4: the four dynamic-trigger
@@ -175,8 +173,7 @@ func (s *Suite[S]) Table4() ([]Table4Row, error) {
 		}
 		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\n", row.W, f(row.NGPDP), f(row.GPDP), f(row.NGPDK), f(row.GPDK))
 	}
-	w.Flush()
-	return rows, nil
+	return rows, w.Flush()
 }
 
 // Table5Row is one cost-scale column of Table 5.
@@ -219,14 +216,13 @@ func (s *Suite[S]) Table5(wl Workload[S]) ([]Table5Row, error) {
 		f := func(c CellResult) string { return fmt.Sprintf("%d/%d/%.2f", c.Nexpand, c.Nlb, c.E) }
 		fmt.Fprintf(w, "%.0fx\t%s\t%s\t%s\t%.3f\n", scale, f(row.DP), f(row.DK), f(row.SXo), xo)
 	}
-	w.Flush()
-	return rows, nil
+	return rows, w.Flush()
 }
 
 // Table6 prints the paper's Table 6 (symbolic isoefficiency functions) and
 // the numeric exponents from the analysis package for a range of static
 // thresholds.
-func Table6(out io.Writer) {
+func Table6(out io.Writer) error {
 	w := tw(out)
 	fmt.Fprintln(w, "# Table 6: isoefficiency functions of the matching schemes (x >= 0.5)")
 	fmt.Fprintln(w, "architecture\tnGP-S^x\tGP-S^x")
@@ -241,11 +237,14 @@ func Table6(out io.Writer) {
 			if err != nil {
 				continue
 			}
-			gp, _ := analysis.IsoStatic("GP", x, topo)
+			gp, err := analysis.IsoStatic("GP", x, topo)
+			if err != nil {
+				continue
+			}
 			fmt.Fprintf(w, "%s\t%.1f\t%s\t%s\n", topo, x, ngp, gp)
 		}
 	}
-	w.Flush()
+	return w.Flush()
 }
 
 func tw(out io.Writer) *tabwriter.Writer {

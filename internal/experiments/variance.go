@@ -73,7 +73,9 @@ func Variance(w int64, p, workers, runs int, labels []string, out io.Writer) ([]
 			fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.4f\n",
 				r.Scheme, r.W, r.MeanE, r.MinE, r.MaxE, r.StdDev)
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }

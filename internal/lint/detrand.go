@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetRand flags wall-clock reads and process-global randomness inside the
+// deterministic packages.  The virtual clock of internal/simd is the only
+// admissible notion of time there, and any randomness must come from an
+// explicitly seeded rand.New(rand.NewSource(...)) so runs replay
+// bit-for-bit.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "wall-clock reads (time.Now/Since) and global math/rand calls in deterministic packages",
+	Run:  runDetRand,
+}
+
+// detRandSeeded are the math/rand constructors that take an explicit
+// source or seed and are therefore reproducible.
+var detRandSeeded = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetRand(p *Pass) {
+	if !deterministic(p.Pkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := p.calleePkgFunc(call)
+			switch pkgPath {
+			case "time":
+				if name == "Now" || name == "Since" {
+					p.Reportf(call.Pos(), "call to time.%s reads the wall clock; deterministic packages must charge the virtual clock instead", name)
+				}
+			case "math/rand", "math/rand/v2":
+				switch {
+				case name == "New" && len(call.Args) == 0:
+					p.Reportf(call.Pos(), "argless rand.New has no explicit seed; use rand.New(rand.NewSource(seed)) so runs replay")
+				case !detRandSeeded[name]:
+					p.Reportf(call.Pos(), "call to global math/rand function %s uses process-global state; use a seeded rand.New(rand.NewSource(...))", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statements that silently discard a returned error: a call
+// used as a statement whose results include an error, and blank (`_`)
+// assignments of error values.
+//
+// Conventional never-fail cases are exempt: fmt's Print and Fprint
+// families (formatted-write errors surface at the eventual Flush or
+// Close, which errdrop does flag) and methods of strings.Builder and
+// bytes.Buffer, which are documented to always return a nil error.
+// Deferred calls (`defer f.Close()`) are likewise outside this
+// analyzer's scope.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "call statements and blank assignments that discard an error",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.returnsError(call) && !p.errAllowed(call) {
+					p.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle or assign it", types.ExprString(call.Fun))
+				}
+			case *ast.AssignStmt:
+				p.checkBlankError(s)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's result type includes an error.
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	t := p.Pkg.Info.TypeOf(call)
+	switch rt := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+// checkBlankError reports error values assigned to the blank identifier.
+func (p *Pass) checkBlankError(s *ast.AssignStmt) {
+	report := func(lhs ast.Expr, rhs ast.Expr) {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && p.errAllowed(call) {
+			return
+		}
+		p.Reportf(lhs.Pos(), "error assigned to the blank identifier; handle it or annotate with %s errdrop", directivePrefix)
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		tup, ok := p.Pkg.Info.TypeOf(s.Rhs[0]).(*types.Tuple)
+		if !ok || tup.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				report(lhs, s.Rhs[0])
+			}
+		}
+		return
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(p.Pkg.Info.TypeOf(s.Rhs[i])) {
+				report(lhs, s.Rhs[i])
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errAllowed reports the conventional exemptions described on ErrDrop.
+func (p *Pass) errAllowed(call *ast.CallExpr) bool {
+	fn := p.callee(call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands in every
+// package.  Equality after floating-point arithmetic is unreliable (the
+// repository has already been bitten once: see the epsilon guard in
+// internal/analysis.VBoundGP); comparisons should use a tolerance.
+//
+// Two exact idioms are exempt: comparisons where both operands are
+// compile-time constants (Go constant arithmetic is exact), and
+// comparisons against the constant zero, which test an unset default or
+// guard a division and involve no arithmetic noise.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "floating-point == / != comparisons (except against constant zero)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !p.isFloat(be.X) && !p.isFloat(be.Y) {
+				return true
+			}
+			if p.isConst(be.X) && p.isConst(be.Y) {
+				return true
+			}
+			if p.isZeroConst(be.X) || p.isZeroConst(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison is unreliable after arithmetic; compare with an explicit tolerance", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// calleePkgFunc resolves a call of the form pkg.Func to the package's
+// import path and the function name; any other call shape yields "", "".
+func (p *Pass) calleePkgFunc(call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	if _, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// callee resolves the static *types.Func a call targets (package function
+// or method); calls through function-typed values yield nil.
+func (p *Pass) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFloat reports whether e's type is a floating-point basic type.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isZeroConst reports whether e is a compile-time numeric constant equal
+// to exactly zero.
+func (p *Pass) isZeroConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errType)
+}
+
+// isSyncType reports whether t (possibly behind one pointer) is the named
+// sync package type with the given name.
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}

@@ -1,0 +1,206 @@
+// Package lint implements simdlint, the repository's zero-dependency
+// static analyser.  The simulator's core contract (see the doc comment of
+// internal/simd/machine.go) is that schedules, node counts and virtual
+// times are bit-for-bit deterministic for a given (domain, scheme,
+// options) and invariant under the Workers shard count; this package
+// enforces the coding rules that contract depends on, plus a few generic
+// correctness checks, using only the standard library's go/parser, go/ast
+// and go/types (the repository deliberately has no external dependencies,
+// so golang.org/x/tools is off limits).
+//
+// The suite:
+//
+//   - detrand: wall-clock reads and process-global randomness inside the
+//     deterministic packages.
+//   - maporder: order-sensitive writes inside `range` loops over maps in
+//     the deterministic packages.
+//   - floateq: == and != between floating-point operands.
+//   - errdrop: statements and blank assignments that discard an error.
+//   - syncmisuse: WaitGroup.Add inside the goroutine it gates, and lock
+//     values copied through parameters, results or receivers.
+//
+// A finding is suppressed by a line comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the same line as the finding or on the line directly above it.  The
+// reason is mandatory: a directive without one is itself reported, and the
+// underlying finding is kept.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding of one analyzer at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// An Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass hands one package to one analyzer and collects its reports.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// deterministicPkgs names the packages whose results must be bit-for-bit
+// reproducible; detrand and maporder only fire inside these.
+var deterministicPkgs = map[string]bool{
+	"simd":     true,
+	"search":   true,
+	"stack":    true,
+	"trigger":  true,
+	"match":    true,
+	"scan":     true,
+	"topology": true,
+	"wire":     true,
+}
+
+// deterministic reports whether pkg is subject to the determinism-only
+// analyzers.
+func deterministic(pkg *Package) bool {
+	return deterministicPkgs[path.Base(pkg.Path)]
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, FloatEq, ErrDrop, SyncMisuse}
+}
+
+// Run applies analyzers to pkgs, resolves //lint:allow suppressions, and
+// returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs, dirDiags := directives(pkgs, known)
+	diags = append(diags, dirDiags...)
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !suppressed(d, dirs) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// A directive is one well-formed //lint:allow comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const directivePrefix = "//lint:allow"
+
+// directives collects well-formed suppressions from every file's comments
+// and reports malformed ones (missing analyzer, unknown analyzer, missing
+// reason) as diagnostics in their own right, attributed to the pseudo
+// analyzer "directive".
+func directives(pkgs []*Package, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // e.g. //lint:allowance — not a directive
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					bad := func(format string, args ...any) {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "directive",
+							Message:  fmt.Sprintf(format, args...),
+						})
+					}
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						bad("malformed %s: missing analyzer name and reason", directivePrefix)
+					case !known[fields[0]]:
+						bad("%s names unknown analyzer %q", directivePrefix, fields[0])
+					case len(fields) == 1:
+						bad("%s %s: missing reason (a justification is mandatory)", directivePrefix, fields[0])
+					default:
+						dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+					}
+				}
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// suppressed reports whether a well-formed directive on the same line as d
+// or on the line directly above covers it.  Directive diagnostics are
+// never suppressible.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	if d.Analyzer == "directive" {
+		return false
+	}
+	for _, dir := range dirs {
+		if dir.analyzer == d.Analyzer && dir.file == d.Pos.Filename &&
+			(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

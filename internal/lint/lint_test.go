@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts `// want "regexp"` annotations from fixture files; the
+// regexp is matched against "analyzer: message".
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type wantAnn struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseWants(t *testing.T, root string) []*wantAnn {
+	t.Helper()
+	var wants []*wantAnn
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &wantAnn{file: abs, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want annotations found under %s", root)
+	}
+	return wants
+}
+
+// TestGoldenCorpus runs the full suite over the bad-fixture tree and
+// matches every diagnostic against the in-source want annotations, in
+// both directions.
+func TestGoldenCorpus(t *testing.T) {
+	pkgs, err := Load("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded %d fixture packages, want at least 5", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("golden corpus produced no diagnostics")
+	}
+	wants := parseWants(t, "testdata/src")
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Analyzer+": "+d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+	// Each analyzer of the suite must be exercised at least once.
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+	}
+	for _, a := range Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s produced no corpus findings", a.Name)
+		}
+	}
+}
+
+// TestAllowDirectives checks the suppression contract: a reasoned
+// directive (trailing or on the line above) silences its analyzer, a
+// reasonless or unknown-analyzer directive is itself reported and
+// suppresses nothing, and a directive for the wrong analyzer is inert.
+func TestAllowDirectives(t *testing.T) {
+	const fixture = "testdata/allow/simd/allow.go"
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineOf := func(match func(string) bool, what string) int {
+		for i, line := range strings.Split(string(data), "\n") {
+			if match(line) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture line for %s not found", what)
+		return 0
+	}
+	noReason := lineOf(func(s string) bool { return strings.HasSuffix(strings.TrimSpace(s), "//lint:allow detrand") }, "reasonless directive")
+	unknown := lineOf(func(s string) bool { return strings.Contains(s, "nosuchcheck") }, "unknown analyzer")
+	mismatch := lineOf(func(s string) bool { return strings.Contains(s, "//lint:allow errdrop") }, "mismatched analyzer")
+
+	pkgs, err := Load("testdata/allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+
+	want := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{noReason, "directive", "missing reason"},
+		{noReason, "detrand", "time.Now"},
+		{unknown, "directive", "unknown analyzer"},
+		{unknown, "detrand", "time.Now"},
+		{mismatch, "detrand", "time.Now"},
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range want {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.Pos.Line == w.line && d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic: line %d %s (%q)", w.line, w.analyzer, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic (suppression failed?): %s", d)
+		}
+	}
+}
+
+// TestRepoClean is the invariant the linter exists to protect: the real
+// codebase must load and pass the full suite with zero unsuppressed
+// findings.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, p := range pkgs {
+		paths[p.Path] = true
+	}
+	for _, want := range []string{
+		"simdtree",
+		"simdtree/internal/simd",
+		"simdtree/internal/lint",
+		"simdtree/cmd/simdlint",
+	} {
+		if !paths[want] {
+			t.Errorf("loader missed package %s", want)
+		}
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}

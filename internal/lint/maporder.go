@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` loops over maps in the deterministic packages
+// whose bodies perform order-sensitive writes: appends, string
+// concatenation, floating-point accumulation (addition is not
+// associative), or channel sends.  Go randomises map iteration order, so
+// any of these leaks nondeterminism into schedules or output.
+//
+// Heuristic escape: a function that also calls sort.* (or slices.Sort*)
+// is taken to implement the collect-then-sort idiom and is not reported.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-sensitive writes inside map iteration in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !deterministic(p.Pkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.callsSort(fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := p.Pkg.Info.TypeOf(rng.X); t == nil || !isMapType(t) {
+					return true
+				}
+				p.checkMapBody(rng)
+				return true
+			})
+		}
+	}
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// callsSort reports whether body contains any call into package sort or a
+// slices.Sort* call — the collect-then-sort idiom.
+func (p *Pass) callsSort(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := p.calleePkgFunc(call)
+		if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkMapBody reports each order-sensitive write inside one map range.
+func (p *Pass) checkMapBody(rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(s.Pos(), "channel send inside map iteration publishes values in nondeterministic order")
+		case *ast.AssignStmt:
+			if s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 {
+				return true
+			}
+			t := p.Pkg.Info.TypeOf(s.Lhs[0])
+			if t == nil {
+				return true
+			}
+			if b, ok := t.Underlying().(*types.Basic); ok {
+				switch {
+				case b.Info()&types.IsString != 0:
+					p.Reportf(s.Pos(), "string concatenation inside map iteration depends on iteration order")
+				case b.Info()&types.IsFloat != 0:
+					p.Reportf(s.Pos(), "floating-point accumulation inside map iteration is order-sensitive (addition is not associative)")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					p.Reportf(s.Pos(), "append inside map iteration collects elements in nondeterministic order; sort the result or iterate sorted keys")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncMisuse flags two concurrency hazards that have bitten lock-step
+// sharding code like the Workers path of internal/simd:
+//
+//   - sync.WaitGroup.Add called inside the goroutine it gates, which
+//     races with Wait (Add must happen-before the go statement);
+//   - lock-bearing values (sync.Mutex, RWMutex, WaitGroup, Once, Cond,
+//     Pool, Map, or any struct containing one) passed or returned by
+//     value, which silently copies the lock state.
+var SyncMisuse = &Analyzer{
+	Name: "syncmisuse",
+	Doc:  "WaitGroup.Add inside its goroutine; lock values copied via params/results/receivers",
+	Run:  runSyncMisuse,
+}
+
+func runSyncMisuse(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					p.checkGoroutineAdd(lit)
+				}
+			case *ast.FuncDecl:
+				if s.Recv != nil {
+					p.checkLockFields(s.Recv, "receiver")
+				}
+				p.checkFuncType(s.Type)
+			case *ast.FuncLit:
+				p.checkFuncType(s.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkGoroutineAdd reports WaitGroup.Add calls inside a go func literal.
+func (p *Pass) checkGoroutineAdd(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if isSyncType(sig.Recv().Type(), "WaitGroup") {
+			p.Reportf(call.Pos(), "WaitGroup.Add inside the goroutine it gates races with Wait; call Add before the go statement")
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkFuncType(ft *ast.FuncType) {
+	if ft.Params != nil {
+		p.checkLockFields(ft.Params, "parameter")
+	}
+	if ft.Results != nil {
+		p.checkLockFields(ft.Results, "result")
+	}
+}
+
+// checkLockFields reports fields whose type carries a lock by value.
+func (p *Pass) checkLockFields(fl *ast.FieldList, kind string) {
+	for _, field := range fl.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := containsLock(t, nil); lock != "" {
+			p.Reportf(field.Type.Pos(), "%s type %s carries %s by value, copying the lock; use a pointer", kind, types.TypeString(t, types.RelativeTo(p.Pkg.Types)), lock)
+		}
+	}
+}
+
+// lockTypes are the sync types whose values must not be copied.
+var lockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Pool":      true,
+	"Map":       true,
+}
+
+// containsLock reports the first lock type reachable from t without
+// crossing a pointer, slice, map, channel or interface (copying those
+// does not copy the lock).  It returns "" when there is none.
+func containsLock(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if l := containsLock(u.Field(i).Type(), seen); l != "" {
+				return l
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return ""
+}

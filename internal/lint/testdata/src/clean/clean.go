@@ -1,0 +1,20 @@
+// Package clean shows that wall-clock reads and unsorted map iteration
+// are acceptable outside the deterministic packages: no analyzer should
+// report anything in this file.
+package clean
+
+import "time"
+
+// Uptime may read the wall clock; clean is not a deterministic package.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Keys may iterate a map unsorted here.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

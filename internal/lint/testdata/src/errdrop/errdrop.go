@@ -1,0 +1,41 @@
+// Package errdrop is a lint fixture for the dropped-error analyzer.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Dropped ignores os.Remove's error outright.
+func Dropped(path string) {
+	os.Remove(path) // want "error that is discarded"
+}
+
+// Blank discards the error through the blank identifier.
+func Blank(path string) {
+	_ = os.Remove(path) // want "blank identifier"
+}
+
+// BlankTuple drops the error half of a tuple result.
+func BlankTuple(path string) string {
+	data, _ := os.ReadFile(path) // want "blank identifier"
+	return string(data)
+}
+
+// Allowed exercises the conventional exemptions: fmt print families and
+// the never-failing strings.Builder methods.
+func Allowed(b *strings.Builder) string {
+	fmt.Println("hello")
+	b.WriteString("x")
+	fmt.Fprintf(b, "%d", 1)
+	return b.String()
+}
+
+// Checked handles its error and is clean.
+func Checked(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}

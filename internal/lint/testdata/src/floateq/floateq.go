@@ -1,0 +1,30 @@
+// Package floateq is a lint fixture for the float-equality analyzer,
+// which applies to every package, not just the deterministic ones.
+package floateq
+
+// Threshold compares computed floats exactly.
+func Threshold(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Differs uses != on float32.
+func Differs(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// Mixed compares a variable against a nonzero constant.
+func Mixed(x float64) bool {
+	return x == 0.5 // want "floating-point == comparison"
+}
+
+// Unset tests the exact-zero sentinel and is clean.
+func Unset(x float64) bool {
+	return x == 0
+}
+
+const half = 0.5
+
+// ConstsOnly compares compile-time constants, which is exact and clean.
+func ConstsOnly() bool {
+	return half+half == 1.0
+}

@@ -1,0 +1,31 @@
+// Package simd is a lint fixture that mimics a deterministic package, so
+// the detrand and maporder analyzers fire here.
+package simd
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reads the wall clock twice.
+func Clock() time.Duration {
+	start := time.Now()      // want "time\.Now"
+	return time.Since(start) // want "time\.Since"
+}
+
+// Roll mixes a global draw with an allowed seeded generator.
+func Roll() int {
+	n := rand.Intn(6) // want "global math/rand"
+	r := rand.New(rand.NewSource(42))
+	return n + r.Intn(6)
+}
+
+// Shuffle permutes through the process-global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+// Jitter draws from the global source inside an expression.
+func Jitter() float64 {
+	return rand.Float64() * 0.5 // want "global math/rand"
+}

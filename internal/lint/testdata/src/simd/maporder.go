@@ -1,0 +1,56 @@
+package simd
+
+import "sort"
+
+// Keys collects map keys without sorting them.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside map iteration"
+	}
+	return keys
+}
+
+// SortedKeys is the collect-then-sort idiom and is clean.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Join concatenates map values in iteration order.
+func Join(m map[int]string) string {
+	var out string
+	for _, v := range m {
+		out += v // want "string concatenation inside map iteration"
+	}
+	return out
+}
+
+// Publish sends keys in iteration order.
+func Publish(m map[int]int, ch chan<- int) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+// Total accumulates floats in iteration order.
+func Total(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point accumulation"
+	}
+	return total
+}
+
+// Count is clean: integer addition is order-insensitive.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+// Package syncmisuse is a lint fixture for the sync-misuse analyzer.
+package syncmisuse
+
+import "sync"
+
+// Spawn calls Add inside the goroutines it is supposed to gate, racing
+// with Wait.
+func Spawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "Add inside the goroutine"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Correct is the safe pattern: Add happens before the go statement.
+func Correct(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Guarded carries a mutex, so copying it by value copies the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// N reads the counter through a copied receiver.
+func (g Guarded) N() int { return g.n } // want "receiver type Guarded carries sync\.Mutex"
+
+// ByValue copies a mutex in through a parameter.
+func ByValue(mu sync.Mutex) { _ = mu } // want "parameter type sync\.Mutex carries sync\.Mutex"
+
+// Make returns a lock-bearing struct by value.
+func Make() Guarded { return Guarded{} } // want "result type Guarded carries sync\.Mutex"
+
+// Pointers are fine.
+func Pointers(g *Guarded, mu *sync.Mutex) (*Guarded, *sync.Mutex) { return g, mu }
