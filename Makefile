@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench fuzz vet lint fmt experiments-quick experiments-full report clean
+.PHONY: all build test test-race bench fuzz vet lint fmt serve experiments-quick experiments-full report clean
 
 all: build lint test
 
@@ -37,6 +37,11 @@ lint: vet
 
 fmt:
 	gofmt -l -w .
+
+# Run the HTTP search service on :8080 (see DESIGN.md section 9 and the
+# README quickstart for the job API).
+serve:
+	$(GO) run ./cmd/simdserve
 
 # The paper's evaluation at reduced scale (~2 min).
 experiments-quick:

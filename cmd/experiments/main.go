@@ -31,6 +31,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scaleName := flag.String("scale", "quick", "experiment scale: full, quick or tiny")
 	domain := flag.String("domain", "puzzle", "table workload domain: puzzle or synthetic")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV copies of the results")
@@ -41,11 +48,11 @@ func main() {
 	}
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	cmd := flag.Arg(0)
@@ -53,20 +60,11 @@ func main() {
 
 	switch *domain {
 	case "puzzle":
-		err = dispatch(newPuzzleSuite(scale, cmd, out), scale, cmd, out, *csvDir)
+		return dispatch(newPuzzleSuite(scale, cmd, out), scale, cmd, out, *csvDir)
 	case "synthetic":
-		err = dispatch(newSyntheticSuite(scale, out), scale, cmd, out, *csvDir)
-	default:
-		err = fmt.Errorf("unknown domain %q", *domain)
+		return dispatch(newSyntheticSuite(scale, out), scale, cmd, out, *csvDir)
 	}
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return fmt.Errorf("unknown domain %q", *domain)
 }
 
 // tableCommands are the subcommands that need tier workloads (and hence a

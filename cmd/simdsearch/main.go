@@ -6,12 +6,21 @@
 //	simdsearch -domain puzzle -scramble 42 -steps 40 -scheme GP-DK -p 1024
 //	simdsearch -domain synthetic -w 1000000 -scheme nGP-S0.80 -p 8192
 //	simdsearch -domain queens -n 11 -scheme GP-S0.90 -p 256 -topology mesh
+//
+// The process exits 0 only on a completed run: runner errors, invalid
+// flags and interrupted runs all exit non-zero, so scripts and health
+// checks can trust the exit code.  An interrupt (Ctrl-C) stops the
+// simulation at the next cycle boundary and prints the partial statistics
+// of the completed prefix before exiting 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"simdtree/internal/metrics"
 	"simdtree/internal/mimd"
@@ -25,6 +34,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simdsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		domain   = flag.String("domain", "puzzle", "problem domain: puzzle, synthetic or queens")
 		scheme   = flag.String("scheme", "GP-DK", "load-balancing scheme, e.g. GP-S0.90, nGP-DP, GP-DK")
@@ -49,10 +65,16 @@ func main() {
 		n    = flag.Int("n", 10, "queens: board size")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	net, err := topology.ByName(*topoName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := simd.Options{P: *p, Workers: *workers, Topology: net, StopAtFirstGoal: *stop}
 	opts.Costs = simd.CM2Costs()
@@ -81,7 +103,7 @@ func main() {
 			dom = puzzle.NewDomainLC(inst)
 		}
 		if *ida {
-			stats, err = runIDAStar(dom, *scheme, opts)
+			stats, err = runIDAStar(ctx, dom, *scheme, opts)
 			break
 		}
 		b := *bound
@@ -92,16 +114,16 @@ func main() {
 			serialW = search.DFS[puzzle.Node](search.NewBounded(dom, b)).Expanded
 		}
 		fmt.Printf("cost bound %d, serial W = %d\n", b, serialW)
-		stats, err = runScheme(search.NewBounded(dom, b), *scheme, opts, *engine)
+		stats, err = runScheme(ctx, search.NewBounded(dom, b), *scheme, opts, *engine)
 	case "synthetic":
-		stats, err = runScheme(synthetic.New(*w, *seed), *scheme, opts, *engine)
+		stats, err = runScheme(ctx, synthetic.New(*w, *seed), *scheme, opts, *engine)
 	case "queens":
-		stats, err = runScheme(queens.New(*n), *scheme, opts, *engine)
+		stats, err = runScheme(ctx, queens.New(*n), *scheme, opts, *engine)
 	default:
 		err = fmt.Errorf("unknown domain %q", *domain)
 	}
-	if err != nil {
-		fatal(err)
+	if err != nil && !stats.Cancelled {
+		return err
 	}
 
 	fmt.Println(stats)
@@ -118,16 +140,21 @@ func main() {
 			}
 		}
 	}
+	if err != nil {
+		// Interrupted: the numbers above are the completed prefix only.
+		return fmt.Errorf("run interrupted after %d cycles: %w", stats.Cycles, err)
+	}
+	return nil
 }
 
-func runScheme[S any](d search.Domain[S], label string, opts simd.Options, engine string) (metrics.Stats, error) {
+func runScheme[S any](ctx context.Context, d search.Domain[S], label string, opts simd.Options, engine string) (metrics.Stats, error) {
 	switch engine {
 	case "simd":
 		sch, err := simd.ParseScheme[S](label)
 		if err != nil {
 			return metrics.Stats{}, err
 		}
-		return simd.Run[S](d, sch, opts)
+		return simd.RunContext[S](ctx, d, sch, opts)
 	case "mimd":
 		pol, err := mimd.ParsePolicy(label)
 		if err != nil {
@@ -148,24 +175,19 @@ func runScheme[S any](d search.Domain[S], label string, opts simd.Options, engin
 
 // runIDAStar executes the paper's complete algorithm: every IDA*
 // iteration on the SIMD machine, printing the per-iteration progression.
-func runIDAStar(dom search.CostDomain[puzzle.Node], label string, opts simd.Options) (metrics.Stats, error) {
+func runIDAStar(ctx context.Context, dom search.CostDomain[puzzle.Node], label string, opts simd.Options) (metrics.Stats, error) {
 	sch, err := simd.ParseScheme[puzzle.Node](label)
 	if err != nil {
 		return metrics.Stats{}, err
 	}
-	res, err := simd.RunIDAStar[puzzle.Node](dom, sch, opts, 0)
-	if err != nil {
-		return metrics.Stats{}, err
+	res, runErr := simd.RunIDAStarContext[puzzle.Node](ctx, dom, sch, opts, 0)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return res.Stats, runErr
 	}
 	fmt.Printf("parallel IDA*: %d iterations, final bound %d\n", len(res.Iterations), res.Bound)
 	for _, it := range res.Iterations {
 		fmt.Printf("  bound %2d: W=%-9d cycles=%-6d phases=%-5d E=%.3f\n",
 			it.Bound, it.Stats.W, it.Stats.Cycles, it.Stats.LBPhases, it.Stats.Efficiency())
 	}
-	return res.Stats, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simdsearch:", err)
-	os.Exit(1)
+	return res.Stats, runErr
 }

@@ -1,0 +1,98 @@
+// Command simdserve runs the HTTP/JSON search service over the simulated
+// SIMD machine: submit job specs, poll results, cancel jobs, and scrape
+// runtime metrics.  Results are deterministic in the job spec, so the
+// service caches them by canonical spec hash.
+//
+// Quickstart:
+//
+//	simdserve -addr :8080 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	  "domain": "puzzle", "scheme": "GP-DK", "p": 256,
+//	  "puzzle": {"seed": 5, "steps": 16}
+//	}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simdtree/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent job executors")
+		queueSize  = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
+		cacheSize  = flag.Int("cache", 512, "result cache capacity in entries")
+		history    = flag.Int("history", 4096, "finished jobs kept addressable")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+		simWorkers = flag.Int("simworkers", 0, "goroutines per simulated cycle (0 = sequential; never changes results)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for running jobs")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+
+	svc := server.New(server.Config{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		CacheSize:      *cacheSize,
+		JobHistory:     *history,
+		DefaultTimeout: *timeout,
+		SimWorkers:     *simWorkers,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "simdserve: listening on %s (workers=%d queue=%d cache=%d)\n",
+			*addr, *workers, *queueSize, *cacheSize)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "simdserve: shutting down, draining jobs...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(drainCtx)
+	svcErr := svc.Shutdown(drainCtx)
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	if svcErr != nil {
+		return fmt.Errorf("drain incomplete: %w", svcErr)
+	}
+	fmt.Fprintln(os.Stderr, "simdserve: drained cleanly")
+	return nil
+}

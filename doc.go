@@ -23,6 +23,8 @@
 package simdtree
 
 import (
+	"context"
+
 	"simdtree/internal/metrics"
 	"simdtree/internal/puzzle"
 	"simdtree/internal/search"
@@ -40,29 +42,57 @@ type Options = simd.Options
 // (Table 1) with a representative static threshold.
 func Schemes() []string { return simd.Table1Labels(0.85) }
 
-// Run simulates scheme `label` searching domain d on a SIMD machine.
-func Run[S any](d search.Domain[S], label string, opts Options) (Stats, error) {
+// RunContext simulates scheme `label` searching domain d on a SIMD
+// machine.  The context is checked only at cycle boundaries, so
+// cancellation never changes the schedule of the cycles that completed: a
+// cancelled run returns the partial Stats of that prefix with
+// Stats.Cancelled set, plus the context's cause as the error.
+func RunContext[S any](ctx context.Context, d search.Domain[S], label string, opts Options) (Stats, error) {
 	sch, err := simd.ParseScheme[S](label)
 	if err != nil {
 		return Stats{}, err
 	}
-	return simd.Run[S](d, sch, opts)
+	return simd.RunContext[S](ctx, d, sch, opts)
 }
 
-// SearchPuzzle scrambles a 15-puzzle with the given seed and walk length,
-// finds the IDA* bound of the first solving iteration, and searches that
-// final iteration exhaustively on a simulated SIMD machine — the paper's
-// experimental setup in one call.  It returns the run statistics and the
-// serial problem size W.
-func SearchPuzzle(seed uint64, steps int, label string, opts Options) (Stats, int64, error) {
+// Run simulates scheme `label` searching domain d on a SIMD machine.
+//
+// Deprecated: use RunContext, which supports cancellation and deadlines;
+// Run is equivalent to RunContext with context.Background().
+func Run[S any](d search.Domain[S], label string, opts Options) (Stats, error) {
+	return RunContext[S](context.Background(), d, label, opts)
+}
+
+// SearchPuzzleContext scrambles a 15-puzzle with the given seed and walk
+// length, finds the IDA* bound of the first solving iteration, and
+// searches that final iteration exhaustively on a simulated SIMD machine —
+// the paper's experimental setup in one call.  It returns the run
+// statistics and the serial problem size W.  Cancellation follows the
+// RunContext contract.
+func SearchPuzzleContext(ctx context.Context, seed uint64, steps int, label string, opts Options) (Stats, int64, error) {
 	dom := puzzle.NewDomain(puzzle.Scramble(seed, steps))
 	bound, w := search.FinalIterationBound(dom)
-	stats, err := Run[puzzle.Node](search.NewBounded(dom, bound), label, opts)
+	stats, err := RunContext[puzzle.Node](ctx, search.NewBounded(dom, bound), label, opts)
 	return stats, w, err
 }
 
-// SearchSynthetic searches a deterministic synthetic tree of exactly w
-// nodes under scheme `label`.
+// SearchPuzzle is SearchPuzzleContext with a background context.
+//
+// Deprecated: use SearchPuzzleContext.
+func SearchPuzzle(seed uint64, steps int, label string, opts Options) (Stats, int64, error) {
+	return SearchPuzzleContext(context.Background(), seed, steps, label, opts)
+}
+
+// SearchSyntheticContext searches a deterministic synthetic tree of
+// exactly w nodes under scheme `label`.  Cancellation follows the
+// RunContext contract.
+func SearchSyntheticContext(ctx context.Context, w int64, seed uint64, label string, opts Options) (Stats, error) {
+	return RunContext[synthetic.Node](ctx, synthetic.New(w, seed), label, opts)
+}
+
+// SearchSynthetic is SearchSyntheticContext with a background context.
+//
+// Deprecated: use SearchSyntheticContext.
 func SearchSynthetic(w int64, seed uint64, label string, opts Options) (Stats, error) {
-	return Run[synthetic.Node](synthetic.New(w, seed), label, opts)
+	return SearchSyntheticContext(context.Background(), w, seed, label, opts)
 }

@@ -1,0 +1,217 @@
+// Example: drive a batch of 15-puzzle instances through a running
+// simdserve and print an efficiency table.
+//
+// The repo's convention for "Korf-style" workloads is seeded scramble
+// walks (see README: the service also accepts explicit "tiles" for real
+// benchmark positions).  The client submits every instance up front —
+// leaning on the service's bounded queue for admission — then streams
+// status transitions as the pool works through them, and finally prints
+// the Section 3.1 efficiency table.  Submitting the same batch twice
+// demonstrates the deterministic result cache: the second pass completes
+// instantly with cache_hit set on every job.
+//
+// Usage:
+//
+//	make serve &
+//	go run ./examples/service-client [-addr http://localhost:8080] [-p 256] [-scheme GP-DK]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+)
+
+// jobSpec mirrors the service's POST /v1/jobs request body.
+type jobSpec struct {
+	Domain string     `json:"domain"`
+	Scheme string     `json:"scheme"`
+	P      int        `json:"p"`
+	Puzzle puzzleSpec `json:"puzzle"`
+}
+
+type puzzleSpec struct {
+	Seed  uint64 `json:"seed"`
+	Steps int    `json:"steps"`
+}
+
+// jobStatus is the slice of the service's job document the client needs.
+type jobStatus struct {
+	ID         string  `json:"id"`
+	Status     string  `json:"status"`
+	CacheHit   bool    `json:"cache_hit"`
+	Error      string  `json:"error"`
+	Efficiency float64 `json:"efficiency"`
+	Speedup    float64 `json:"speedup"`
+	LatencyMS  int64   `json:"latency_ms"`
+	Stats      *struct {
+		W        int64 `json:"W"`
+		Cycles   int64 `json:"Cycles"`
+		LBPhases int64 `json:"LBPhases"`
+		Goals    int64 `json:"Goals"`
+	} `json:"stats"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "service-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://localhost:8080", "simdserve base URL")
+	scheme := flag.String("scheme", "GP-DK", "load-balancing scheme for every job")
+	p := flag.Int("p", 256, "simulated processors per job")
+	steps := flag.Int("steps", 24, "scramble walk length per instance")
+	n := flag.Int("n", 8, "number of scramble instances in the batch")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := ping(client, *addr); err != nil {
+		return fmt.Errorf("service not reachable (run `make serve` first): %w", err)
+	}
+
+	// Submit the whole batch: seeds 1..n, one job per instance.
+	ids := make([]string, 0, *n)
+	for seed := uint64(1); seed <= uint64(*n); seed++ {
+		id, err := submit(client, *addr, jobSpec{
+			Domain: "puzzle",
+			Scheme: *scheme,
+			P:      *p,
+			Puzzle: puzzleSpec{Seed: seed, Steps: *steps},
+		})
+		if err != nil {
+			return fmt.Errorf("submit seed %d: %w", seed, err)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("submitted %d jobs (%s, P=%d, steps=%d)\n", len(ids), *scheme, *p, *steps)
+
+	// Stream status transitions until every job is terminal.
+	final := make(map[string]jobStatus, len(ids))
+	last := make(map[string]string, len(ids))
+	for len(final) < len(ids) {
+		for _, id := range ids {
+			if _, done := final[id]; done {
+				continue
+			}
+			st, err := get(client, *addr, id)
+			if err != nil {
+				return fmt.Errorf("poll %s: %w", id, err)
+			}
+			if st.Status != last[id] {
+				fmt.Printf("  %-4s %s\n", id, st.Status)
+				last[id] = st.Status
+			}
+			switch st.Status {
+			case "queued", "running":
+			default:
+				final[id] = st
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The efficiency table, in submission order.
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\njob\tstatus\tcache\tW\tcycles\tphases\tE\tspeedup\tlatency")
+	for _, id := range ids {
+		st := final[id]
+		if st.Stats == nil {
+			fmt.Fprintf(w, "%s\t%s\t\t\t\t\t\t\t%s\n", id, st.Status, st.Error)
+			continue
+		}
+		hit := ""
+		if st.CacheHit {
+			hit = "hit"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%.3f\t%.1f\t%dms\n",
+			id, st.Status, hit, st.Stats.W, st.Stats.Cycles, st.Stats.LBPhases,
+			st.Efficiency, st.Speedup, st.LatencyMS)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// Round 2: identical specs — every answer should come from the cache.
+	hits := 0
+	for seed := uint64(1); seed <= uint64(*n); seed++ {
+		st, err := submitFull(client, *addr, jobSpec{
+			Domain: "puzzle",
+			Scheme: *scheme,
+			P:      *p,
+			Puzzle: puzzleSpec{Seed: seed, Steps: *steps},
+		})
+		if err != nil {
+			return fmt.Errorf("resubmit seed %d: %w", seed, err)
+		}
+		if st.CacheHit {
+			hits++
+		}
+	}
+	fmt.Printf("\nresubmitted the batch: %d/%d answered from the result cache\n", hits, *n)
+	return nil
+}
+
+func ping(c *http.Client, addr string) error {
+	resp, err := c.Get(addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+func submit(c *http.Client, addr string, spec jobSpec) (string, error) {
+	st, err := submitFull(c, addr, spec)
+	if err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+func submitFull(c *http.Client, addr string, spec jobSpec) (jobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	resp, err := c.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	// 202 = queued, 200 = answered from cache; anything else is an error.
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return jobStatus{}, fmt.Errorf("submit: %s", resp.Status)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	return st, nil
+}
+
+func get(c *http.Client, addr, id string) (jobStatus, error) {
+	resp, err := c.Get(addr + "/v1/jobs/" + id)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobStatus{}, fmt.Errorf("get %s: %s", id, resp.Status)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	return st, nil
+}

@@ -235,11 +235,11 @@ func Table6(out io.Writer) error {
 		for _, x := range []float64{0.5, 0.7, 0.8, 0.9} {
 			ngp, err := analysis.IsoStatic("nGP", x, topo)
 			if err != nil {
-				continue
+				return fmt.Errorf("table6 %s x=%.1f: %w", topo, x, err)
 			}
 			gp, err := analysis.IsoStatic("GP", x, topo)
 			if err != nil {
-				continue
+				return fmt.Errorf("table6 %s x=%.1f: %w", topo, x, err)
 			}
 			fmt.Fprintf(w, "%s\t%.1f\t%s\t%s\n", topo, x, ngp, gp)
 		}

@@ -38,6 +38,13 @@ type Stats struct {
 
 	PeakStack   int // deepest per-processor stack seen, in nodes
 	MaxTransfer int // largest single work transfer, in stack nodes
+
+	// Cancelled marks a run stopped early by context cancellation or
+	// deadline.  The aggregates above then cover the completed prefix of
+	// the schedule only; every completed cycle is identical to the same
+	// cycle of an uncancelled run (cancellation is checked strictly at
+	// cycle boundaries), so partial stats remain deterministic.
+	Cancelled bool
 }
 
 // Efficiency returns E = Tcalc / (Tcalc + Tidle + Tlb), the paper's

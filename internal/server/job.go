@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/trace"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusCancelled Status = "cancelled"
+	StatusTimeout   Status = "timeout"
+	StatusExhausted Status = "exhausted" // cycle budget spent; stats are the completed prefix
+	StatusFailed    Status = "failed"
+)
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool {
+	switch s {
+	case StatusDone, StatusCancelled, StatusTimeout, StatusExhausted, StatusFailed:
+		return true
+	}
+	return false
+}
+
+// Cancellation causes, distinguished via context.Cause so the worker can
+// classify how a run ended.
+var (
+	errCancelRequested = errors.New("cancelled by client")
+	errShutdown        = errors.New("server shutting down")
+)
+
+// job is one queued/executing search request.
+type job struct {
+	id   string
+	spec JobSpec // canonical
+	key  string  // cache key of spec
+
+	// runCtx and cancel are created at submission (derived from the
+	// server's root context), so a job can be cancelled with a cause
+	// while still queued; the worker layers the deadline on top.
+	runCtx context.Context
+	cancel context.CancelCauseFunc
+
+	mu        sync.Mutex
+	status    Status
+	stats     metrics.Stats
+	errMsg    string
+	cacheHit  bool
+	trace     *trace.Trace
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{} // closed when the job reaches a terminal status
+}
+
+// requestCancel cancels the job's context (queued or running) with cause.
+func (j *job) requestCancel(cause error) {
+	j.cancel(cause)
+}
+
+// finish transitions the job to a terminal status exactly once.
+func (j *job) finish(status Status, stats metrics.Stats, tr *trace.Trace, errMsg string, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return false
+	}
+	j.status = status
+	j.stats = stats
+	j.trace = tr
+	j.errMsg = errMsg
+	j.finished = now
+	close(j.done)
+	return true
+}
+
+// view is an immutable snapshot for handlers.
+type jobView struct {
+	ID        string
+	Spec      JobSpec
+	Key       string
+	Status    Status
+	Stats     metrics.Stats
+	ErrMsg    string
+	CacheHit  bool
+	Trace     *trace.Trace
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:        j.id,
+		Spec:      j.spec,
+		Key:       j.key,
+		Status:    j.status,
+		Stats:     j.stats,
+		ErrMsg:    j.errMsg,
+		CacheHit:  j.cacheHit,
+		Trace:     j.trace,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}
+
+// jobStore maps ids to jobs and bounds its memory by evicting the oldest
+// *terminal* jobs beyond the history cap (running and queued jobs are
+// never evicted).
+type jobStore struct {
+	mu      sync.Mutex
+	byID    map[string]*job
+	order   []string // submission order, oldest first
+	history int
+}
+
+func newJobStore(history int) *jobStore {
+	if history < 1 {
+		history = 1
+	}
+	return &jobStore{byID: make(map[string]*job), history: history}
+}
+
+func (s *jobStore) add(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) <= s.history {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.history
+	for _, id := range s.order {
+		jj := s.byID[id]
+		if excess > 0 && jj != nil && jj.isTerminal() {
+			delete(s.byID, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (j *job) isTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.terminal()
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// all returns the stored jobs in submission order.
+func (s *jobStore) all() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.byID[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/simd"
+	"simdtree/internal/trace"
+)
+
+// startWorkers launches the pool.  Each worker drains the bounded queue
+// until it is closed by Shutdown.
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// runJob executes one job end to end: derive its cancellable context,
+// run the domain with panic isolation, classify the outcome, publish the
+// result and feed the cache and metrics.
+func (s *Server) runJob(j *job) {
+	// A queued job may already have been cancelled via DELETE or by
+	// shutdown; honour that before paying for a run.
+	select {
+	case <-j.runCtx.Done():
+		s.finishJob(j, StatusCancelled, metrics.Stats{Cancelled: true}, nil, causeMessage(j.runCtx))
+		return
+	default:
+	}
+
+	ctx := j.runCtx
+	timeout := time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var cancelTimeout context.CancelFunc
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, timeout, context.DeadlineExceeded)
+		defer cancelTimeout()
+	}
+
+	opts, err := s.buildOptions(j.spec)
+	if err != nil {
+		s.finishJob(j, StatusFailed, metrics.Stats{}, nil, err.Error())
+		return
+	}
+	var tr *trace.Trace
+	if j.spec.Trace {
+		tr = &trace.Trace{}
+		opts.Trace = tr
+	}
+
+	started := time.Now()
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = started
+	j.mu.Unlock()
+	s.ctr.jobsRunning.Add(1)
+	s.ctr.busyWorkers.Add(1)
+	defer s.ctr.jobsRunning.Add(-1)
+	defer s.ctr.busyWorkers.Add(-1)
+
+	stats, runErr := s.execute(ctx, j, opts)
+	latency := time.Since(started)
+	s.latencies.observe(j.spec.Scheme, latency)
+
+	switch {
+	case runErr == nil:
+		s.cache.put(j.key, cachedResult{Stats: stats, Trace: tr})
+		s.finishJob(j, StatusDone, stats, tr, "")
+	case errors.Is(runErr, simd.ErrBudgetExceeded):
+		s.finishJob(j, StatusExhausted, stats, tr, runErr.Error())
+	case errors.Is(runErr, context.DeadlineExceeded):
+		s.finishJob(j, StatusTimeout, stats, tr, runErr.Error())
+	case errors.Is(runErr, context.Canceled),
+		errors.Is(runErr, errCancelRequested),
+		errors.Is(runErr, errShutdown):
+		s.finishJob(j, StatusCancelled, stats, tr, runErr.Error())
+	default:
+		s.finishJob(j, StatusFailed, stats, tr, runErr.Error())
+	}
+}
+
+// execute dispatches to the domain runner with panic isolation: a
+// panicking domain fails its own job and leaves the worker (and process)
+// alive.
+func (s *Server) execute(ctx context.Context, j *job, opts simd.Options) (stats metrics.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.ctr.panics.Add(1)
+			err = fmt.Errorf("domain %q panicked: %v\n%s", j.spec.Domain, r, debug.Stack())
+		}
+	}()
+	run, ok := s.runners[j.spec.Domain]
+	if !ok {
+		return metrics.Stats{}, fmt.Errorf("no runner for domain %q", j.spec.Domain)
+	}
+	return run(ctx, j.spec, opts)
+}
+
+// finishJob publishes a terminal status and bumps the outcome counters.
+func (s *Server) finishJob(j *job, status Status, stats metrics.Stats, tr *trace.Trace, errMsg string) {
+	if !j.finish(status, stats, tr, errMsg, time.Now()) {
+		return
+	}
+	switch status {
+	case StatusDone:
+		s.ctr.jobsDone.Add(1)
+	case StatusCancelled:
+		s.ctr.jobsCancelled.Add(1)
+	case StatusTimeout:
+		s.ctr.jobsTimeout.Add(1)
+	case StatusExhausted:
+		s.ctr.jobsExhausted.Add(1)
+	case StatusFailed:
+		s.ctr.jobsFailed.Add(1)
+	}
+}
+
+// causeMessage renders a context's cancellation cause for the job record.
+func causeMessage(ctx context.Context) string {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause.Error()
+	}
+	return context.Canceled.Error()
+}

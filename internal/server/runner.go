@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/topology"
+)
+
+// Runner executes one canonical job spec on the simulated machine.  Extra
+// runners can be registered through Config.Runners — the race smoke test
+// injects a panicking domain that way to prove worker isolation.
+type Runner func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error)
+
+// defaultRunners maps the built-in domains.
+func defaultRunners() map[string]Runner {
+	return map[string]Runner{
+		"puzzle":    runPuzzle,
+		"synthetic": runSynthetic,
+		"queens":    runQueens,
+	}
+}
+
+func runPuzzle(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+	p := spec.Puzzle
+	var start puzzle.Node
+	if len(p.Tiles) == 16 {
+		var tiles [puzzle.Cells]uint8
+		copy(tiles[:], p.Tiles)
+		n, err := puzzle.FromTiles(tiles)
+		if err != nil {
+			return metrics.Stats{}, err
+		}
+		start = n
+	} else {
+		start = puzzle.Scramble(p.Seed, p.Steps)
+	}
+	var dom search.CostDomain[puzzle.Node] = puzzle.NewDomain(start)
+	if p.LC {
+		dom = puzzle.NewDomainLC(start)
+	}
+	bound := p.Bound
+	if bound == 0 {
+		// The paper's setup: run the final (first solving) IDA*
+		// iteration exhaustively.  The bound search itself is serial and
+		// not cancellable; explicit bounds sidestep it for huge
+		// instances.
+		bound, _ = search.FinalIterationBound(dom)
+	}
+	sch, err := simd.ParseScheme[puzzle.Node](spec.Scheme)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	return simd.RunContext[puzzle.Node](ctx, search.NewBounded(dom, bound), sch, opts)
+}
+
+func runSynthetic(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+	sch, err := simd.ParseScheme[synthetic.Node](spec.Scheme)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	return simd.RunContext[synthetic.Node](ctx, synthetic.New(spec.Synthetic.W, spec.Synthetic.Seed), sch, opts)
+}
+
+func runQueens(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+	sch, err := simd.ParseScheme[queens.Node](spec.Scheme)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	return simd.RunContext[queens.Node](ctx, queens.New(spec.Queens.N), sch, opts)
+}
+
+// buildOptions translates a canonical spec into engine options.  Workers
+// and topology resolution are service-side concerns; by the determinism
+// contract the Workers count never affects results.
+func (s *Server) buildOptions(spec JobSpec) (simd.Options, error) {
+	opts := simd.Options{
+		P:               spec.P,
+		Workers:         s.cfg.SimWorkers,
+		MaxCycles:       spec.BudgetCycles,
+		StopAtFirstGoal: spec.StopAtFirstGoal,
+	}
+	opts.Costs = simd.CM2Costs()
+	net, err := topology.ByName(spec.Topology)
+	if err != nil {
+		return simd.Options{}, fmt.Errorf("job topology: %w", err)
+	}
+	opts.Topology = net
+	return opts, nil
+}

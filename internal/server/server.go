@@ -1,0 +1,458 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/trace"
+)
+
+// Config shapes a Server.  The zero value is usable: every field has a
+// production-sane default.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueSize bounds the number of queued-but-not-running jobs; a full
+	// queue rejects submissions with 429 (default 64).
+	QueueSize int
+	// CacheSize caps the LRU result cache in entries (default 512).
+	CacheSize int
+	// JobHistory caps the number of finished jobs kept addressable
+	// (default 4096); running and queued jobs are never evicted.
+	JobHistory int
+	// DefaultTimeout applies to jobs that do not set timeout_ms; 0 means
+	// no default deadline.
+	DefaultTimeout time.Duration
+	// SimWorkers shards each simulated cycle across this many goroutines
+	// (the engine's Options.Workers); results are identical for any
+	// value (default 1).
+	SimWorkers int
+	// Runners adds or overrides domain runners (tests inject failure
+	// modes this way).  Built-ins: puzzle, synthetic, queens.
+	Runners map[string]Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 512
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = 1
+	}
+	return c
+}
+
+// Server is the simdserve HTTP service: a bounded job queue over the
+// deterministic SIMD simulator, with an LRU result cache and
+// observability endpoints.
+type Server struct {
+	cfg       Config
+	runners   map[string]Runner
+	domains   map[string]bool
+	cache     *resultCache
+	store     *jobStore
+	latencies *schemeLatencies
+	ctr       counters
+
+	rootCtx  context.Context
+	rootStop context.CancelCauseFunc
+
+	mu       sync.Mutex // guards queue send vs close
+	queue    chan *job
+	draining bool
+
+	nextID  atomic.Int64
+	started time.Time
+	wg      sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	runners := defaultRunners()
+	for name, r := range cfg.Runners {
+		runners[name] = r
+	}
+	domains := make(map[string]bool, len(runners))
+	for name := range runners {
+		domains[name] = true
+	}
+	rootCtx, rootStop := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		runners:   runners,
+		domains:   domains,
+		cache:     newResultCache(cfg.CacheSize),
+		store:     newJobStore(cfg.JobHistory),
+		latencies: newSchemeLatencies(),
+		rootCtx:   rootCtx,
+		rootStop:  rootStop,
+		queue:     make(chan *job, cfg.QueueSize),
+		started:   time.Now(),
+	}
+	s.startWorkers()
+	return s
+}
+
+// Shutdown drains the service gracefully: no new submissions are
+// accepted, queued and running jobs are allowed to finish until ctx
+// expires, then the remainder is cancelled and the pool joined.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Grace period over: cancel everything still running and wait
+		// for the workers to observe it.
+		s.rootStop(errShutdown)
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// jobResponse is the wire form of a job's state.
+type jobResponse struct {
+	ID       string  `json:"id"`
+	Status   Status  `json:"status"`
+	CacheKey string  `json:"cache_key"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Spec     JobSpec `json:"spec"`
+
+	// Result fields are present once the job is terminal.
+	Stats      *metrics.Stats `json:"stats,omitempty"`
+	Efficiency float64        `json:"efficiency,omitempty"`
+	Speedup    float64        `json:"speedup,omitempty"`
+
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	LatencyMS   int64  `json:"latency_ms,omitempty"`
+}
+
+func renderJob(v jobView) jobResponse {
+	r := jobResponse{
+		ID:       v.ID,
+		Status:   v.Status,
+		CacheKey: v.Key,
+		CacheHit: v.CacheHit,
+		Error:    v.ErrMsg,
+		Spec:     v.Spec,
+	}
+	if !v.Submitted.IsZero() {
+		r.SubmittedAt = v.Submitted.UTC().Format(time.RFC3339Nano)
+	}
+	if !v.Started.IsZero() {
+		r.StartedAt = v.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if v.Status.terminal() {
+		st := v.Stats
+		r.Stats = &st
+		r.Efficiency = st.Efficiency()
+		r.Speedup = st.Speedup()
+		if !v.Finished.IsZero() {
+			r.FinishedAt = v.Finished.UTC().Format(time.RFC3339Nano)
+			if !v.Submitted.IsZero() {
+				r.LatencyMS = v.Finished.Sub(v.Submitted).Milliseconds()
+			}
+		}
+	}
+	return r
+}
+
+// handleSubmit implements POST /v1/jobs: canonicalize, consult the cache,
+// otherwise enqueue with backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	canonical, err := Canonicalize(spec, s.domains)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := CacheKey(canonical)
+
+	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
+	now := time.Now()
+	runCtx, cancel := context.WithCancelCause(s.rootCtx)
+	j := &job{
+		id:        id,
+		spec:      canonical,
+		key:       key,
+		runCtx:    runCtx,
+		cancel:    cancel,
+		status:    StatusQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+
+	// Deterministic-cache fast path: an identical canonical spec already
+	// ran to completion, so its Stats (and trace) are the job's result,
+	// byte for byte.
+	if res, ok := s.cache.get(key); ok {
+		s.ctr.cacheHits.Add(1)
+		j.cacheHit = true
+		j.status = StatusDone
+		j.stats = res.Stats
+		j.trace = res.Trace
+		j.started = now
+		j.finished = now
+		close(j.done)
+		cancel(nil)
+		s.store.add(j)
+		s.ctr.jobsDone.Add(1)
+		writeJSON(w, http.StatusOK, renderJob(j.view()))
+		return
+	}
+	s.ctr.cacheMisses.Add(1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel(errShutdown)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		cancel(errCancelRequested)
+		s.ctr.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d jobs); retry later", s.cfg.QueueSize))
+		return
+	}
+	s.ctr.jobsQueued.Add(1)
+	s.store.add(j)
+	writeJSON(w, http.StatusAccepted, renderJob(j.view()))
+}
+
+// handleGet implements GET /v1/jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, renderJob(j.view()))
+}
+
+// handleList implements GET /v1/jobs: all addressable jobs, oldest first.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.all()
+	out := make([]jobResponse, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, renderJob(j.view()))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}.  Cancelling a terminal
+// job is a no-op that reports the final state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	j.requestCancel(errCancelRequested)
+	writeJSON(w, http.StatusOK, renderJob(j.view()))
+}
+
+// handleTrace implements GET /v1/jobs/{id}/trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	v := j.view()
+	if !v.Spec.Trace {
+		writeError(w, http.StatusConflict, "job was not submitted with trace=true")
+		return
+	}
+	if !v.Status.terminal() {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; trace is available once it finishes", v.Status))
+		return
+	}
+	if v.Trace == nil {
+		writeError(w, http.StatusNotFound, "no trace recorded")
+		return
+	}
+	writeJSON(w, http.StatusOK, renderTrace(v.ID, v.Trace))
+}
+
+// traceResponse is the wire form of a per-cycle trace.
+type traceResponse struct {
+	ID      string        `json:"id"`
+	Samples []traceSample `json:"samples"`
+	Phases  []tracePhase  `json:"phases"`
+}
+
+type traceSample struct {
+	Cycle  int `json:"cycle"`
+	Active int `json:"active"`
+}
+
+type tracePhase struct {
+	Cycle     int   `json:"cycle"`
+	Transfers int   `json:"transfers"`
+	CostNS    int64 `json:"cost_ns"`
+}
+
+func renderTrace(id string, tr *trace.Trace) traceResponse {
+	out := traceResponse{ID: id, Samples: make([]traceSample, len(tr.Samples)), Phases: make([]tracePhase, len(tr.Events))}
+	for i, sm := range tr.Samples {
+		out.Samples[i] = traceSample{Cycle: sm.Cycle, Active: sm.Active}
+	}
+	for i, ev := range tr.Events {
+		out.Phases[i] = tracePhase{Cycle: ev.Cycle, Transfers: ev.Transfers, CostNS: int64(ev.Cost)}
+	}
+	return out
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+// handleVersion implements GET /version from the embedded build info.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	out := map[string]string{"module": "simdtree", "go": "", "version": "(devel)", "vcs_revision": ""}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["go"] = bi.GoVersion
+		if bi.Main.Version != "" {
+			out["version"] = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				out["vcs_revision"] = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// metricsResponse is the /metrics document: expvar-style counters plus
+// queue and pool gauges and per-scheme latency histograms.
+type metricsResponse struct {
+	UptimeSeconds     float64                  `json:"uptime_seconds"`
+	JobsQueued        int64                    `json:"jobs_queued_total"`
+	JobsRunning       int64                    `json:"jobs_running"`
+	JobsDone          int64                    `json:"jobs_done_total"`
+	JobsCancelled     int64                    `json:"jobs_cancelled_total"`
+	JobsTimeout       int64                    `json:"jobs_timeout_total"`
+	JobsExhausted     int64                    `json:"jobs_exhausted_total"`
+	JobsFailed        int64                    `json:"jobs_failed_total"`
+	JobsRejected      int64                    `json:"jobs_rejected_total"`
+	DomainPanics      int64                    `json:"domain_panics_total"`
+	CacheHits         int64                    `json:"cache_hits_total"`
+	CacheMisses       int64                    `json:"cache_misses_total"`
+	CacheEntries      int                      `json:"cache_entries"`
+	QueueDepth        int                      `json:"queue_depth"`
+	QueueCapacity     int                      `json:"queue_capacity"`
+	Workers           int                      `json:"workers"`
+	BusyWorkers       int64                    `json:"busy_workers"`
+	WorkerUtilization float64                  `json:"worker_utilization"`
+	SchemeLatencies   map[string]histogramJSON `json:"scheme_latency_ms,omitempty"`
+}
+
+// handleMetrics implements GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	busy := s.ctr.busyWorkers.Load()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		JobsQueued:        s.ctr.jobsQueued.Load(),
+		JobsRunning:       s.ctr.jobsRunning.Load(),
+		JobsDone:          s.ctr.jobsDone.Load(),
+		JobsCancelled:     s.ctr.jobsCancelled.Load(),
+		JobsTimeout:       s.ctr.jobsTimeout.Load(),
+		JobsExhausted:     s.ctr.jobsExhausted.Load(),
+		JobsFailed:        s.ctr.jobsFailed.Load(),
+		JobsRejected:      s.ctr.jobsRejected.Load(),
+		DomainPanics:      s.ctr.panics.Load(),
+		CacheHits:         s.ctr.cacheHits.Load(),
+		CacheMisses:       s.ctr.cacheMisses.Load(),
+		CacheEntries:      s.cache.len(),
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     s.cfg.QueueSize,
+		Workers:           s.cfg.Workers,
+		BusyWorkers:       busy,
+		WorkerUtilization: float64(busy) / float64(s.cfg.Workers),
+		SchemeLatencies:   s.latencies.snapshot(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode failure here means the client went away; nothing to do.
+	_ = enc.Encode(v) //lint:allow errdrop response writer errors are unreportable
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,451 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/simd"
+)
+
+// testServer boots a Server behind an httptest listener.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// wireJob mirrors jobResponse with the stats kept raw so tests can check
+// byte identity.
+type wireJob struct {
+	ID       string          `json:"id"`
+	Status   Status          `json:"status"`
+	CacheKey string          `json:"cache_key"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error"`
+	Stats    json.RawMessage `json:"stats"`
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (wireJob, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j wireJob
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return j, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) wireJob {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var j wireJob
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// waitTerminal polls until the job leaves the queue/run states.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) wireJob {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j := getJob(t, ts, id)
+		if j.Status.terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return wireJob{}
+}
+
+const queensSpec = `{"domain":"queens","scheme":"GP-DK","p":32,"queens":{"n":7}}`
+
+// bigSyntheticSpec is a job that takes long enough to cancel or time out:
+// ~270M nodes at P=256 is minutes of simulation if left alone.
+func bigSyntheticSpec(extra string) string {
+	return `{"domain":"synthetic","scheme":"GP-S0.80","p":256,` + extra + `"synthetic":{"w":268435456,"seed":3}}`
+}
+
+func TestSubmitPollDone(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	j, code := postJob(t, ts, queensSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	if j.Status != StatusQueued {
+		t.Errorf("fresh job status %q, want queued", j.Status)
+	}
+	fin := waitTerminal(t, ts, j.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("job finished %q (err %q), want done", fin.Status, fin.Error)
+	}
+	var st metrics.Stats
+	if err := json.Unmarshal(fin.Stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Goals != 40 {
+		t.Errorf("7-queens found %d solutions, want 40", st.Goals)
+	}
+}
+
+// TestCacheHitByteIdentical is the acceptance-criteria test: a cache hit
+// must return byte-identical Stats to the cold run of the same job spec,
+// and specs spelled with explicit defaults must hit the same entry.
+func TestCacheHitByteIdentical(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	cold, _ := postJob(t, ts, queensSpec)
+	coldFin := waitTerminal(t, ts, cold.ID)
+	if coldFin.Status != StatusDone {
+		t.Fatalf("cold run %q: %s", coldFin.Status, coldFin.Error)
+	}
+
+	warm, code := postJob(t, ts, queensSpec)
+	if code != http.StatusOK {
+		t.Fatalf("cache-hit submit status %d, want 200", code)
+	}
+	if !warm.CacheHit || warm.Status != StatusDone {
+		t.Fatalf("second submit not served from cache: %+v", warm)
+	}
+	if !bytes.Equal(coldFin.Stats, warm.Stats) {
+		t.Errorf("cache hit is not byte-identical:\ncold %s\nwarm %s", coldFin.Stats, warm.Stats)
+	}
+	if warm.CacheKey != cold.CacheKey {
+		t.Errorf("cache keys differ: %s vs %s", warm.CacheKey, cold.CacheKey)
+	}
+
+	// Same job with defaults spelled out hits the same entry.
+	explicit := `{"domain":"queens","scheme":"GP-DK","p":32,"topology":"cm2","timeout_ms":60000,"queens":{"n":7}}`
+	warm2, _ := postJob(t, ts, explicit)
+	if !warm2.CacheHit {
+		t.Error("explicitly-defaulted spec missed the cache")
+	}
+	if !bytes.Equal(coldFin.Stats, warm2.Stats) {
+		t.Error("explicitly-defaulted spec returned different stats")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	j, code := postJob(t, ts, bigSyntheticSpec(""))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	// Wait until it is actually running so the cancel exercises the
+	// engine's cycle-boundary check, not the queued fast path.
+	deadline := time.Now().Add(10 * time.Second)
+	for getJob(t, ts, j.ID).Status != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fin := waitTerminal(t, ts, j.ID)
+	if fin.Status != StatusCancelled {
+		t.Fatalf("cancelled job finished %q (err %q)", fin.Status, fin.Error)
+	}
+	var st metrics.Stats
+	if err := json.Unmarshal(fin.Stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cancelled {
+		t.Error("partial stats do not carry the Cancelled flag")
+	}
+	if st.Cycles == 0 {
+		t.Error("cancelled mid-run but no completed cycles reported")
+	}
+}
+
+func TestTimeoutJob(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	j, _ := postJob(t, ts, bigSyntheticSpec(`"timeout_ms":50,`))
+	fin := waitTerminal(t, ts, j.ID)
+	if fin.Status != StatusTimeout {
+		t.Fatalf("job finished %q (err %q), want timeout", fin.Status, fin.Error)
+	}
+	var st metrics.Stats
+	if err := json.Unmarshal(fin.Stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cancelled {
+		t.Error("timed-out stats do not carry the Cancelled flag")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	j, _ := postJob(t, ts, `{"domain":"synthetic","scheme":"GP-S0.80","p":64,"budget_cycles":10,"synthetic":{"w":1000000,"seed":3}}`)
+	fin := waitTerminal(t, ts, j.ID)
+	if fin.Status != StatusExhausted {
+		t.Fatalf("job finished %q (err %q), want exhausted", fin.Status, fin.Error)
+	}
+	var st metrics.Stats
+	if err := json.Unmarshal(fin.Stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 10 {
+		t.Errorf("budgeted job ran %d cycles, want 10", st.Cycles)
+	}
+}
+
+// TestHandlerTable covers the HTTP error surface.
+func TestHandlerTable(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := []struct {
+		name string
+		do   func() *http.Response
+		want int
+	}{
+		{"malformed json", func() *http.Response { return post("/v1/jobs", "{") }, http.StatusBadRequest},
+		{"unknown field", func() *http.Response { return post("/v1/jobs", `{"domian":"puzzle"}`) }, http.StatusBadRequest},
+		{"unknown domain", func() *http.Response { return post("/v1/jobs", `{"domain":"chess","scheme":"GP-DK","p":4}`) }, http.StatusBadRequest},
+		{"bad scheme", func() *http.Response {
+			return post("/v1/jobs", `{"domain":"queens","scheme":"zz","p":4,"queens":{"n":6}}`)
+		}, http.StatusBadRequest},
+		{"unknown job", func() *http.Response { return get("/v1/jobs/j999") }, http.StatusNotFound},
+		{"unknown trace", func() *http.Response { return get("/v1/jobs/j999/trace") }, http.StatusNotFound},
+		{"method not allowed", func() *http.Response { return post("/healthz", "") }, http.StatusMethodNotAllowed},
+		{"healthz", func() *http.Response { return get("/healthz") }, http.StatusOK},
+		{"version", func() *http.Response { return get("/version") }, http.StatusOK},
+		{"metrics", func() *http.Response { return get("/metrics") }, http.StatusOK},
+		{"list", func() *http.Response { return get("/v1/jobs") }, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.do()
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	// Untraced job: trace endpoint must refuse.
+	plain, _ := postJob(t, ts, queensSpec)
+	waitTerminal(t, ts, plain.ID)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("untraced trace fetch: status %d, want 409", resp.StatusCode)
+	}
+
+	traced, _ := postJob(t, ts, `{"domain":"queens","scheme":"GP-DK","p":32,"trace":true,"queens":{"n":7}}`)
+	fin := waitTerminal(t, ts, traced.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("traced job %q: %s", fin.Status, fin.Error)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + traced.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", resp.StatusCode)
+	}
+	var tr traceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Error("trace has no samples")
+	}
+	var st metrics.Stats
+	if err := json.Unmarshal(fin.Stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != st.Cycles {
+		t.Errorf("%d trace samples for %d cycles", len(tr.Samples), st.Cycles)
+	}
+}
+
+// TestQueueBackpressure fills the bounded queue behind a blocked worker
+// and expects 429 with Retry-After.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+	cfg := Config{Workers: 1, QueueSize: 1, Runners: map[string]Runner{
+		"block": func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+			select {
+			case <-ctx.Done():
+				return metrics.Stats{Cancelled: true}, context.Cause(ctx)
+			case <-release:
+				return metrics.Stats{P: spec.P, W: 1}, nil
+			}
+		},
+	}}
+	_, ts := testServer(t, cfg)
+	spec := func(p int) string {
+		return fmt.Sprintf(`{"domain":"block","scheme":"GP-DK","p":%d}`, p)
+	}
+	// First job occupies the worker, second fills the queue; distinct P
+	// keeps their cache keys distinct.
+	a, code := postJob(t, ts, spec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	// Wait until the worker picked up job A so the queue slot is free.
+	deadline := time.Now().Add(5 * time.Second)
+	for getJob(t, ts, a.ID).Status != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, code = postJob(t, ts, spec(2)); code != http.StatusAccepted {
+		t.Fatalf("second submit: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	once.Do(func() { close(release) })
+}
+
+// TestPanicIsolation injects a panicking domain: its job fails, the
+// worker survives, and the next job completes.
+func TestPanicIsolation(t *testing.T) {
+	cfg := Config{Workers: 1, Runners: map[string]Runner{
+		"explode": func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+			panic("boom")
+		},
+	}}
+	s, ts := testServer(t, cfg)
+	bad, _ := postJob(t, ts, `{"domain":"explode","scheme":"GP-DK","p":4}`)
+	fin := waitTerminal(t, ts, bad.ID)
+	if fin.Status != StatusFailed {
+		t.Fatalf("panicking job finished %q, want failed", fin.Status)
+	}
+	if !strings.Contains(fin.Error, "panicked") {
+		t.Errorf("error %q does not mention the panic", fin.Error)
+	}
+	if got := s.ctr.panics.Load(); got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+	// The same (sole) worker must still serve real jobs.
+	ok, _ := postJob(t, ts, queensSpec)
+	if fin := waitTerminal(t, ts, ok.ID); fin.Status != StatusDone {
+		t.Errorf("post-panic job finished %q: %s", fin.Status, fin.Error)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	cold, _ := postJob(t, ts, queensSpec)
+	waitTerminal(t, ts, cold.ID)
+	postJob(t, ts, queensSpec) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"jobs_done_total":    2,
+		"cache_hits_total":   1,
+		"cache_misses_total": 1,
+		"cache_entries":      1,
+		"queue_capacity":     64,
+		"workers":            2,
+	}
+	for k, want := range checks {
+		got, ok := m[k].(float64)
+		if !ok || int64(got) != int64(want) {
+			t.Errorf("metrics[%s] = %v, want %v", k, m[k], want)
+		}
+	}
+	if _, ok := m["scheme_latency_ms"].(map[string]any)["GP-DK"]; !ok {
+		t.Error("no GP-DK latency histogram")
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	j, _ := postJob(t, ts, queensSpec)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if fin := getJob(t, ts, j.ID); fin.Status != StatusDone {
+		t.Errorf("job not drained: %q (%s)", fin.Status, fin.Error)
+	}
+	// Submissions after drain are refused.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(bigSyntheticSpec("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit: status %d, want 503", resp.StatusCode)
+	}
+}

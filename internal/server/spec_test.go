@@ -1,0 +1,160 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDomains() map[string]bool {
+	return map[string]bool{"puzzle": true, "synthetic": true, "queens": true}
+}
+
+// TestCanonicalizeDefaults: specs that spell the defaults explicitly and
+// specs that omit them must canonicalize identically — and therefore
+// share a cache key.  This is the invariance the golden test below pins
+// against accidental drift.
+func TestCanonicalizeDefaults(t *testing.T) {
+	implicit := JobSpec{Domain: "Puzzle", Scheme: "GP-DK", P: 64, Puzzle: &PuzzleSpec{Seed: 5}}
+	explicit := JobSpec{
+		Domain:   "puzzle",
+		Scheme:   "GP-DK",
+		P:        64,
+		Topology: "cm2",
+		Puzzle:   &PuzzleSpec{Seed: 5, Steps: 40},
+	}
+	a, err := Canonicalize(implicit, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(explicit, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(a) != CacheKey(b) {
+		t.Errorf("default-filled and explicit specs disagree:\n a=%+v key %s\n b=%+v key %s",
+			a, CacheKey(a), b, CacheKey(b))
+	}
+	if a.Topology != "cm2" || a.Puzzle.Steps != 40 {
+		t.Errorf("defaults not filled: %+v", a)
+	}
+	// Canonicalization is idempotent.
+	again, err := Canonicalize(a, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(again) != CacheKey(a) {
+		t.Error("canonicalization is not idempotent")
+	}
+}
+
+// TestCacheKeyGolden pins the exact key of one fixed spec.  The key is
+// the service's compatibility contract: renaming a JSON field, reordering
+// the struct, or changing a default silently invalidates every cached
+// result, and this test makes such a change visible in review.
+func TestCacheKeyGolden(t *testing.T) {
+	spec := JobSpec{
+		Domain: "synthetic",
+		Scheme: "GP-S0.85",
+		P:      128,
+		Synthetic: &SyntheticSpec{
+			W:    50000,
+			Seed: 7,
+		},
+	}
+	c, err := Canonicalize(spec, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "4d75b31fac9670cb2b90bc05501cecbee5d75c4512ce26cd9829c5014e40baf5"
+	if got := CacheKey(c); got != want {
+		t.Errorf("cache key drifted:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestCacheKeyTimeoutExcluded: the deadline must not fragment the cache —
+// a completed result is independent of how long it was allowed to take.
+func TestCacheKeyTimeoutExcluded(t *testing.T) {
+	base := JobSpec{Domain: "queens", Scheme: "nGP-DP", P: 32, Queens: &QueensSpec{N: 8}}
+	timed := base
+	timed.TimeoutMS = 12345
+	a, err := Canonicalize(base, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(timed, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(a) != CacheKey(b) {
+		t.Error("timeout_ms leaked into the cache key")
+	}
+}
+
+// TestCacheKeyTraceIncluded: traced and untraced runs cache separately.
+func TestCacheKeyTraceIncluded(t *testing.T) {
+	base := JobSpec{Domain: "queens", Scheme: "nGP-DP", P: 32, Queens: &QueensSpec{N: 8}}
+	traced := base
+	traced.Trace = true
+	a, err := Canonicalize(base, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(traced, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(a) == CacheKey(b) {
+		t.Error("trace flag does not participate in the cache key")
+	}
+}
+
+// TestCanonicalizeRejects exercises the validation table.
+func TestCanonicalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string // substring of the error
+	}{
+		{"unknown domain", JobSpec{Domain: "chess", Scheme: "GP-DK", P: 4}, "unknown domain"},
+		{"bad scheme", JobSpec{Domain: "queens", Scheme: "??", P: 4, Queens: &QueensSpec{N: 6}}, "invalid scheme"},
+		{"zero p", JobSpec{Domain: "queens", Scheme: "GP-DK", P: 0, Queens: &QueensSpec{N: 6}}, "p must be positive"},
+		{"huge p", JobSpec{Domain: "queens", Scheme: "GP-DK", P: MaxP + 1, Queens: &QueensSpec{N: 6}}, "exceeds"},
+		{"bad topology", JobSpec{Domain: "queens", Scheme: "GP-DK", P: 4, Topology: "torus", Queens: &QueensSpec{N: 6}}, "unknown network"},
+		{"missing sub-spec", JobSpec{Domain: "synthetic", Scheme: "GP-DK", P: 4}, "needs a synthetic sub-spec"},
+		{"two sub-specs", JobSpec{Domain: "queens", Scheme: "GP-DK", P: 4, Queens: &QueensSpec{N: 6}, Synthetic: &SyntheticSpec{W: 10}}, "sub-specs"},
+		{"bad tiles", JobSpec{Domain: "puzzle", Scheme: "GP-DK", P: 4, Puzzle: &PuzzleSpec{Tiles: []uint8{1, 2, 3}}}, "16"},
+		{"negative budget", JobSpec{Domain: "queens", Scheme: "GP-DK", P: 4, BudgetCycles: -1, Queens: &QueensSpec{N: 6}}, "budget_cycles"},
+		{"queens n", JobSpec{Domain: "queens", Scheme: "GP-DK", P: 4, Queens: &QueensSpec{N: 99}}, "out of range"},
+		{"synthetic w", JobSpec{Domain: "synthetic", Scheme: "GP-DK", P: 4, Synthetic: &SyntheticSpec{W: 0}}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Canonicalize(tc.spec, testDomains())
+			if err == nil {
+				t.Fatalf("spec %+v accepted", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeTilesNormalizeScramble: an explicit position zeroes the
+// scramble parameters so both spellings of the same instance share a key.
+func TestCanonicalizeTilesNormalizeScramble(t *testing.T) {
+	tiles := []uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 0, 15}
+	a, err := Canonicalize(JobSpec{Domain: "puzzle", Scheme: "GP-DK", P: 16,
+		Puzzle: &PuzzleSpec{Tiles: tiles, Seed: 99, Steps: 7}}, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(JobSpec{Domain: "puzzle", Scheme: "GP-DK", P: 16,
+		Puzzle: &PuzzleSpec{Tiles: tiles}}, testDomains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(a) != CacheKey(b) {
+		t.Error("scramble parameters leaked into the key of an explicit-tiles spec")
+	}
+}

@@ -1,6 +1,7 @@
 package simd
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -33,6 +34,15 @@ type IDAStarResult struct {
 // first iteration that finds a goal (or when the space is exhausted).
 // maxIters <= 0 means no iteration limit.
 func RunIDAStar[S any](d search.CostDomain[S], sch Scheme[S], opts Options, maxIters int) (IDAStarResult, error) {
+	return RunIDAStarContext[S](context.Background(), d, sch, opts, maxIters)
+}
+
+// RunIDAStarContext is RunIDAStar with cooperative cancellation.  The
+// context is polled at the cycle boundaries of each iteration (see
+// RunContext); a cancelled run returns the iterations completed so far
+// plus the partial statistics of the interrupted iteration, with
+// Stats.Cancelled set, and the context's cause as the error.
+func RunIDAStarContext[S any](ctx context.Context, d search.CostDomain[S], sch Scheme[S], opts Options, maxIters int) (IDAStarResult, error) {
 	if d == nil {
 		return IDAStarResult{}, errors.New("simd: nil domain")
 	}
@@ -40,8 +50,11 @@ func RunIDAStar[S any](d search.CostDomain[S], sch Scheme[S], opts Options, maxI
 	bound := d.F(d.Root())
 	for iter := 0; maxIters <= 0 || iter < maxIters; iter++ {
 		b := search.NewBounded(d, bound)
-		st, err := Run[S](b, sch, opts)
+		st, err := RunContext[S](ctx, b, sch, opts)
 		if err != nil {
+			res.Iterations = append(res.Iterations, IterationStat{Bound: bound, Stats: st})
+			res.Bound = bound
+			accumulate(&res.Stats, st)
 			return res, err
 		}
 		res.Iterations = append(res.Iterations, IterationStat{Bound: bound, Stats: st})
@@ -78,6 +91,9 @@ func accumulate(agg *metrics.Stats, st metrics.Stats) {
 	}
 	if st.MaxTransfer > agg.MaxTransfer {
 		agg.MaxTransfer = st.MaxTransfer
+	}
+	if st.Cancelled {
+		agg.Cancelled = true
 	}
 }
 

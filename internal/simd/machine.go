@@ -24,6 +24,7 @@
 package simd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -87,6 +88,7 @@ type ProgressInfo struct {
 
 // machine is the mutable state of one simulated run.
 type machine[S any] struct {
+	ctx   context.Context
 	d     search.Domain[S]
 	sch   Scheme[S]
 	opts  Options
@@ -108,8 +110,22 @@ type machine[S any] struct {
 }
 
 // Run simulates the parallel search of d under scheme sch and returns the
-// Section 3.1 statistics.
+// Section 3.1 statistics.  It is RunContext with a background context.
 func Run[S any](d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats, error) {
+	return RunContext[S](context.Background(), d, sch, opts)
+}
+
+// RunContext is Run with cooperative cancellation.  The context is checked
+// only at cycle boundaries — between lock-step node-expansion cycles —
+// never inside one, so cancellation can not perturb the schedule of the
+// cycles that did complete: a run cancelled after k cycles is bit-for-bit
+// the k-cycle prefix of the uncancelled run.  On cancellation it returns
+// the partial Stats accumulated so far with Stats.Cancelled set, plus the
+// context's cause (context.Canceled or context.DeadlineExceeded).
+func RunContext[S any](ctx context.Context, d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d == nil {
 		return metrics.Stats{}, errors.New("simd: nil domain")
 	}
@@ -128,6 +144,7 @@ func Run[S any](d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats,
 	}
 
 	m := &machine[S]{
+		ctx:   ctx,
 		d:     d,
 		sch:   sch,
 		opts:  opts,
@@ -152,12 +169,13 @@ func Run[S any](d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats,
 	m.stats.P = opts.P
 	m.estLB = m.costs.SingleRoundCost(m.topo, opts.P)
 
-	if err := m.run(); err != nil {
-		return m.stats, err
-	}
+	// Tcalc and Goals are filled in even when the run stops early
+	// (cancellation, MaxCycles) so callers always see consistent partial
+	// aggregates for the completed prefix of the schedule.
+	err := m.run()
 	m.stats.Tcalc = time.Duration(m.stats.W) * m.costs.NodeExpansion
 	m.stats.Goals = m.goals
-	return m.stats, nil
+	return m.stats, err
 }
 
 // run executes the initial distribution followed by the main
@@ -177,6 +195,9 @@ func (m *machine[S]) run() error {
 			return nil
 		}
 		if err := m.checkBudget(); err != nil {
+			return err
+		}
+		if err := m.checkCtx(); err != nil {
 			return err
 		}
 		active := m.cycle()
@@ -203,6 +224,9 @@ func (m *machine[S]) initialDistribution(threshold float64) error {
 			return nil
 		}
 		if err := m.checkBudget(); err != nil {
+			return err
+		}
+		if err := m.checkCtx(); err != nil {
 			return err
 		}
 		active := m.cycle()
@@ -243,9 +267,29 @@ func (m *machine[S]) anyDonor() bool {
 // checkBudget enforces the MaxCycles safety valve.
 func (m *machine[S]) checkBudget() error {
 	if m.opts.MaxCycles > 0 && m.stats.Cycles >= m.opts.MaxCycles {
-		return fmt.Errorf("simd: exceeded MaxCycles=%d (W so far %d)", m.opts.MaxCycles, m.stats.W)
+		return fmt.Errorf("simd: %w MaxCycles=%d (W so far %d)", ErrBudgetExceeded, m.opts.MaxCycles, m.stats.W)
 	}
 	return nil
+}
+
+// ErrBudgetExceeded is wrapped by the error a run returns when it stops at
+// the Options.MaxCycles node-expansion budget.  Callers that treat budget
+// exhaustion as a first-class outcome (rather than a failure) detect it
+// with errors.Is.
+var ErrBudgetExceeded = errors.New("exceeded")
+
+// checkCtx polls the run's context at a cycle boundary.  It never fires
+// mid-cycle, so the completed prefix of the schedule is untouched by
+// cancellation; it marks the partial stats and returns the cancellation
+// cause.
+func (m *machine[S]) checkCtx() error {
+	select {
+	case <-m.ctx.Done():
+		m.stats.Cancelled = true
+		return context.Cause(m.ctx)
+	default:
+		return nil
+	}
 }
 
 // cycleResult carries one worker's share of an expansion cycle.
