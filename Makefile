@@ -21,11 +21,13 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing bursts over the wire format and puzzle validator.
+# Short fuzzing bursts over the wire format, puzzle validator, and
+# checkpoint decoder.
 fuzz:
 	$(GO) test -run=xxx -fuzz FuzzDecodeStack -fuzztime 30s ./internal/wire
 	$(GO) test -run=xxx -fuzz FuzzDecodeNode -fuzztime 15s ./internal/wire
 	$(GO) test -run=xxx -fuzz FuzzFromTiles -fuzztime 15s ./internal/puzzle
+	$(GO) test -run=xxx -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/checkpoint
 
 vet:
 	$(GO) vet ./...

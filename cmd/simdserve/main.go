@@ -1,7 +1,10 @@
 // Command simdserve runs the HTTP/JSON search service over the simulated
 // SIMD machine: submit job specs, poll results, cancel jobs, and scrape
 // runtime metrics.  Results are deterministic in the job spec, so the
-// service caches them by canonical spec hash.
+// service caches them by canonical spec hash.  With -spool DIR, running
+// jobs checkpoint into DIR and a restarted server resumes any job a
+// previous process left interrupted, completing it to the identical
+// result.
 //
 // Quickstart:
 //
@@ -46,20 +49,27 @@ func run() error {
 		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
 		simWorkers = flag.Int("simworkers", 0, "goroutines per simulated cycle (0 = sequential; never changes results)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for running jobs")
+		spool      = flag.String("spool", "", "directory for crash-recovery job checkpoints (empty = disabled); on startup interrupted jobs found there are resumed")
+		ckptEvery  = flag.Int("checkpoint-every", 1000, "cycles between spooled checkpoints of a running job (needs -spool)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %q", flag.Args())
 	}
 
-	svc := server.New(server.Config{
-		Workers:        *workers,
-		QueueSize:      *queueSize,
-		CacheSize:      *cacheSize,
-		JobHistory:     *history,
-		DefaultTimeout: *timeout,
-		SimWorkers:     *simWorkers,
+	svc, err := server.New(server.Config{
+		Workers:         *workers,
+		QueueSize:       *queueSize,
+		CacheSize:       *cacheSize,
+		JobHistory:      *history,
+		DefaultTimeout:  *timeout,
+		SimWorkers:      *simWorkers,
+		Spool:           *spool,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

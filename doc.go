@@ -63,6 +63,29 @@ func Run[S any](d search.Domain[S], label string, opts Options) (Stats, error) {
 	return RunContext[S](context.Background(), d, label, opts)
 }
 
+// ResumeContext continues a run from a checkpoint snapshot (see
+// internal/checkpoint for the on-disk format): the domain, scheme label
+// and options must match the interrupted run's.  The resumed run
+// completes the schedule exactly as the uninterrupted run would have,
+// returning identical Stats.
+func ResumeContext[S any](ctx context.Context, d search.Domain[S], label string, opts Options, snap *simd.Snapshot[S]) (Stats, error) {
+	sch, err := simd.ParseScheme[S](label)
+	if err != nil {
+		return Stats{}, err
+	}
+	return simd.ResumeContext[S](ctx, d, sch, opts, snap)
+}
+
+// SearchPuzzleResumeContext is SearchPuzzleContext resuming from a
+// checkpoint taken by an interrupted run with the same seed, steps,
+// label and options.
+func SearchPuzzleResumeContext(ctx context.Context, seed uint64, steps int, label string, opts Options, snap *simd.Snapshot[puzzle.Node]) (Stats, int64, error) {
+	dom := puzzle.NewDomain(puzzle.Scramble(seed, steps))
+	bound, w := search.FinalIterationBound(dom)
+	stats, err := ResumeContext[puzzle.Node](ctx, search.NewBounded(dom, bound), label, opts, snap)
+	return stats, w, err
+}
+
 // SearchPuzzleContext scrambles a 15-puzzle with the given seed and walk
 // length, finds the IDA* bound of the first solving iteration, and
 // searches that final iteration exhaustively on a simulated SIMD machine —

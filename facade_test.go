@@ -1,9 +1,14 @@
 package simdtree
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"simdtree/internal/puzzle"
 	"simdtree/internal/queens"
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
 )
 
 func TestSchemesList(t *testing.T) {
@@ -92,4 +97,57 @@ func TestRunGenericWithCustomDomain(t *testing.T) {
 	if stats.Goals != 40 {
 		t.Errorf("7-queens found %d solutions, want 40", stats.Goals)
 	}
+}
+
+// TestResumeFacade drives the checkpoint path through the public facade:
+// interrupt SearchPuzzleContext at a cycle boundary, snapshot, and let
+// SearchPuzzleResumeContext finish the run to the uninterrupted stats.
+func TestResumeFacade(t *testing.T) {
+	const (
+		seed  uint64 = 5
+		steps        = 16
+		label        = "GP-S0.80"
+	)
+	ref, w, err := SearchPuzzleContext(context.Background(), seed, steps, label, Options{P: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{P: 16, ProgressEvery: 1}
+	k := ref.Cycles / 2
+	opts.Progress = func(p simd.ProgressInfo) {
+		if p.Cycles >= k {
+			cancel()
+		}
+	}
+	dom := puzzle.NewDomain(puzzle.Scramble(seed, steps))
+	bound, _ := search.FinalIterationBound(dom)
+	m, err := simd.NewMachine[puzzle.Node](search.NewBounded(dom, bound), mustScheme[puzzle.Node](t, label), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupt: %v", err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, w2, err := SearchPuzzleResumeContext(context.Background(), seed, steps, label, Options{P: 16}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref || w2 != w {
+		t.Errorf("resumed run differs:\n got %+v (w=%d)\nwant %+v (w=%d)", got, w2, ref, w)
+	}
+}
+
+func mustScheme[S any](t *testing.T, label string) simd.Scheme[S] {
+	t.Helper()
+	sch, err := simd.ParseScheme[S](label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
 }

@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"simdtree/internal/synthetic"
+	"simdtree/internal/wire"
+)
+
+// FuzzDecodeCheckpoint hammers the strict decoder: any input either
+// decodes cleanly or returns an error — never a panic, never an
+// unbounded allocation.  A successful decode must be canonical
+// (re-encode byte-identical) and Peek must agree with Decode's meta.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid := mustEncodeSample(f)
+	reseal := func(mutate func(body []byte) []byte) []byte {
+		body := append([]byte(nil), valid[:len(valid)-crc32.Size]...)
+		body = mutate(body)
+		return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                 // truncated
+	f.Add(valid[:len(valid)-1])                 // CRC clipped
+	f.Add(flipBitF(valid, len(valid)/3))        // bit flip, CRC stale
+	f.Add(append([]byte("NOPE"), valid[4:]...)) // bad magic
+	f.Add([]byte("SCKP"))                       // magic only
+	f.Add(reseal(func(b []byte) []byte {        // wrong version, valid CRC
+		b[4] = 0x7F
+		return b
+	}))
+	f.Add(reseal(func(b []byte) []byte { // trailing byte, valid CRC
+		return append(b, 0x00)
+	}))
+	f.Add(reseal(func(b []byte) []byte { // body bit flip, valid CRC
+		b[len(b)/2] ^= 0x40
+		return b
+	}))
+
+	codec := wire.SyntheticCodec{}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, snap, err := Decode[synthetic.Node](codec, data)
+		if err != nil {
+			return
+		}
+		re, err := Encode[synthetic.Node](codec, meta, snap)
+		if err != nil {
+			t.Fatalf("decoded checkpoint fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode→encode not canonical:\n in %x\nout %x", data, re)
+		}
+		pm, err := Peek(data)
+		if err != nil {
+			t.Fatalf("Decode accepted what Peek rejects: %v", err)
+		}
+		if pm.Codec != meta.Codec || pm.P != meta.P || pm.Scheme != meta.Scheme {
+			t.Fatalf("Peek meta %+v disagrees with Decode meta %+v", pm, meta)
+		}
+	})
+}
+
+func mustEncodeSample(f *testing.F) []byte {
+	b, err := Encode[synthetic.Node](wire.SyntheticCodec{}, sampleMeta, sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+func flipBitF(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x10
+	return c
+}

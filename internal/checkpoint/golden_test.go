@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simdtree/internal/synthetic"
+	"simdtree/internal/wire"
+)
+
+var update = flag.Bool("update", false, "regenerate golden checkpoint files")
+
+const goldenPath = "testdata/golden_v1.ckpt"
+
+// TestGoldenCompatibility pins the on-disk format.  The golden file is
+// the byte-exact encoding of sampleSnapshot under the current Version;
+// any layout change breaks the byte comparison, and the test only
+// tolerates that when the version byte was bumped too — so a format
+// change can never masquerade as the old version.  Regenerate with
+// `go test ./internal/checkpoint -run Golden -update` after bumping.
+func TestGoldenCompatibility(t *testing.T) {
+	got := encodeSample(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	const versionOff = len(Magic)
+	if bytes.Equal(got, want) {
+		// Same version, same bytes: decode the pinned file and require a
+		// canonical re-encode, the full compatibility round trip.
+		meta, snap, err := Decode[synthetic.Node](wire.SyntheticCodec{}, want)
+		if err != nil {
+			t.Fatalf("decoding golden file: %v", err)
+		}
+		re, err := Encode[synthetic.Node](wire.SyntheticCodec{}, meta, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, want) {
+			t.Error("golden file does not re-encode byte-identically")
+		}
+		return
+	}
+	if got[versionOff] == want[versionOff] {
+		t.Fatalf("checkpoint layout changed but Version is still %d; bump Version, keep decoding v%d, and regenerate the golden file with -update",
+			Version, want[versionOff])
+	}
+	// Version was bumped: files written by the old version must be
+	// rejected cleanly, never misparsed as the new layout.
+	if _, _, err := Decode[synthetic.Node](wire.SyntheticCodec{}, want); !errors.Is(err, ErrVersion) {
+		t.Fatalf("old-version golden file decodes as %v, want ErrVersion", err)
+	}
+	t.Logf("note: Version bumped to %d; regenerate %s with -update once the new layout settles", Version, goldenPath)
+}

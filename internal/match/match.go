@@ -64,6 +64,21 @@ func (g *GP) Name() string { return "GP" }
 // Reset implements Matcher, parking the pointer again.
 func (g *GP) Reset() { g.pointer = -1 }
 
+// Pointer returns the global pointer: the last processor that donated
+// work, or -1 while the pointer is parked before the first phase.  It is
+// the matcher's only cross-phase state, captured by checkpoints.
+func (g *GP) Pointer() int { return g.pointer }
+
+// SetPointer restores the global pointer, the inverse of Pointer.
+// Checkpoint restore uses it to resume the donation rotation exactly where
+// the snapshotted run left it.
+func (g *GP) SetPointer(p int) {
+	if p < -1 {
+		p = -1
+	}
+	g.pointer = p
+}
+
 // Match implements Matcher: busy processors are enumerated starting from
 // the first busy processor after the global pointer (wrapping around), the
 // idle ones from processor 0, and ranks are matched by rendezvous.  The

@@ -13,6 +13,8 @@
 package search
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -102,6 +104,51 @@ func (b *Bounded[S]) NextBound() (int, bool) {
 		return 0, false
 	}
 	return int(v), true
+}
+
+// Stateful is implemented by domains whose future behaviour depends on
+// mutable state accumulated during the search — state that lives outside
+// the DFS stacks and must therefore ride along in a checkpoint.  Bounded
+// implements it: its smallest-pruned-f accumulator determines the next
+// IDA* bound, and prunes recorded before a snapshot would otherwise be
+// lost on restore.  Stateless domains (the workloads themselves) simply
+// don't implement the interface.
+type Stateful interface {
+	// SaveState returns the domain's mutable state as a small opaque
+	// payload.
+	SaveState() []byte
+	// RestoreState installs a payload produced by SaveState on an
+	// identically configured domain.  It returns an error when the
+	// payload is malformed or belongs to a differently configured domain.
+	RestoreState([]byte) error
+}
+
+// SaveState implements Stateful: the configured bound (restore validates
+// it, catching checkpoints applied to the wrong iteration) and the
+// smallest pruned f-value so far.
+func (b *Bounded[S]) SaveState() []byte {
+	buf := binary.AppendVarint(nil, int64(b.Bound))
+	return binary.AppendVarint(buf, b.next.Load())
+}
+
+// RestoreState implements Stateful.
+func (b *Bounded[S]) RestoreState(p []byte) error {
+	bound, n := binary.Varint(p)
+	if n <= 0 {
+		return fmt.Errorf("search: truncated bounded-domain state")
+	}
+	next, m := binary.Varint(p[n:])
+	if m <= 0 || n+m != len(p) {
+		return fmt.Errorf("search: malformed bounded-domain state")
+	}
+	if int(bound) != b.Bound {
+		return fmt.Errorf("search: bounded-domain state is for bound %d, domain has bound %d", bound, b.Bound)
+	}
+	if next < 0 {
+		return fmt.Errorf("search: negative next bound %d in bounded-domain state", next)
+	}
+	b.next.Store(next)
+	return nil
 }
 
 // Result summarises a serial search.

@@ -51,17 +51,33 @@ type job struct {
 	runCtx context.Context
 	cancel context.CancelCauseFunc
 
-	mu        sync.Mutex
-	status    Status
-	stats     metrics.Stats
-	errMsg    string
-	cacheHit  bool
-	trace     *trace.Trace
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	// resume holds the spooled checkpoint a restarted server recovered
+	// for this job; nil for a fresh run.  Set before the job is queued,
+	// read only by the worker.
+	resume []byte
+
+	mu           sync.Mutex
+	status       Status
+	stats        metrics.Stats
+	errMsg       string
+	cacheHit     bool
+	resumed      bool
+	resumedCycle int
+	trace        *trace.Trace
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
 
 	done chan struct{} // closed when the job reaches a terminal status
+}
+
+// setResumed records that the run restored a spooled checkpoint taken at
+// the given cycle.
+func (j *job) setResumed(cycle int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.resumed = true
+	j.resumedCycle = cycle
 }
 
 // requestCancel cancels the job's context (queued or running) with cause.
@@ -87,34 +103,38 @@ func (j *job) finish(status Status, stats metrics.Stats, tr *trace.Trace, errMsg
 
 // view is an immutable snapshot for handlers.
 type jobView struct {
-	ID        string
-	Spec      JobSpec
-	Key       string
-	Status    Status
-	Stats     metrics.Stats
-	ErrMsg    string
-	CacheHit  bool
-	Trace     *trace.Trace
-	Submitted time.Time
-	Started   time.Time
-	Finished  time.Time
+	ID           string
+	Spec         JobSpec
+	Key          string
+	Status       Status
+	Stats        metrics.Stats
+	ErrMsg       string
+	CacheHit     bool
+	Resumed      bool
+	ResumedCycle int
+	Trace        *trace.Trace
+	Submitted    time.Time
+	Started      time.Time
+	Finished     time.Time
 }
 
 func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobView{
-		ID:        j.id,
-		Spec:      j.spec,
-		Key:       j.key,
-		Status:    j.status,
-		Stats:     j.stats,
-		ErrMsg:    j.errMsg,
-		CacheHit:  j.cacheHit,
-		Trace:     j.trace,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:           j.id,
+		Spec:         j.spec,
+		Key:          j.key,
+		Status:       j.status,
+		Stats:        j.stats,
+		ErrMsg:       j.errMsg,
+		CacheHit:     j.cacheHit,
+		Resumed:      j.resumed,
+		ResumedCycle: j.resumedCycle,
+		Trace:        j.trace,
+		Submitted:    j.submitted,
+		Started:      j.started,
+		Finished:     j.finished,
 	}
 }
 

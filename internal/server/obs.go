@@ -23,6 +23,9 @@ type counters struct {
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	busyWorkers   atomic.Int64 // workers executing a job (gauge)
+
+	checkpointsWritten atomic.Int64 // spool files persisted (periodic + final)
+	jobsResumed        atomic.Int64 // runs restored from a spooled checkpoint
 }
 
 // latencyBuckets are the upper bounds of the wall-clock job-latency

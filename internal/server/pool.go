@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -35,6 +36,7 @@ func (s *Server) runJob(j *job) {
 	select {
 	case <-j.runCtx.Done():
 		s.finishJob(j, StatusCancelled, metrics.Stats{Cancelled: true}, nil, causeMessage(j.runCtx))
+		s.cleanSpool(j, context.Cause(j.runCtx))
 		return
 	default:
 	}
@@ -90,6 +92,48 @@ func (s *Server) runJob(j *job) {
 	default:
 		s.finishJob(j, StatusFailed, stats, tr, runErr.Error())
 	}
+	s.cleanSpool(j, runErr)
+}
+
+// cleanSpool deletes a terminal job's spool file — except when shutdown
+// ended the job, where the file is exactly what lets the next process
+// resume it.
+func (s *Server) cleanSpool(j *job, cause error) {
+	if s.spool == nil || errors.Is(cause, errShutdown) {
+		return
+	}
+	s.spool.remove(j.key)
+}
+
+// runEnv builds the checkpoint plumbing the runner sees: a spool-backed
+// writer under the job's cache key, the resume payload when the job was
+// recovered from the spool, and the counters both feed.
+func (s *Server) runEnv(j *job) RunEnv {
+	env := RunEnv{}
+	if s.spool != nil {
+		spec, err := json.Marshal(j.spec)
+		if err != nil {
+			// A canonical JobSpec is plain data; Marshal cannot fail on it.
+			panic(fmt.Sprintf("server: marshal canonical spec: %v", err))
+		}
+		env.CheckpointEvery = s.cfg.CheckpointEvery
+		env.SpecJSON = spec
+		env.Write = func(b []byte) error {
+			if err := s.spool.write(j.key, b); err != nil {
+				return err
+			}
+			s.ctr.checkpointsWritten.Add(1)
+			return nil
+		}
+	}
+	if j.resume != nil {
+		env.Resume = j.resume
+		env.OnResume = func(cycle int) {
+			j.setResumed(cycle)
+			s.ctr.jobsResumed.Add(1)
+		}
+	}
+	return env
 }
 
 // execute dispatches to the domain runner with panic isolation: a
@@ -106,7 +150,7 @@ func (s *Server) execute(ctx context.Context, j *job, opts simd.Options) (stats 
 	if !ok {
 		return metrics.Stats{}, fmt.Errorf("no runner for domain %q", j.spec.Domain)
 	}
-	return run(ctx, j.spec, opts)
+	return run(ctx, j.spec, opts, s.runEnv(j))
 }
 
 // finishJob publishes a terminal status and bumps the outcome counters.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"simdtree/internal/checkpoint"
 	"simdtree/internal/metrics"
 	"simdtree/internal/puzzle"
 	"simdtree/internal/queens"
@@ -11,12 +12,35 @@ import (
 	"simdtree/internal/simd"
 	"simdtree/internal/synthetic"
 	"simdtree/internal/topology"
+	"simdtree/internal/wire"
 )
+
+// RunEnv carries the checkpoint-spool plumbing into a runner.  The zero
+// value disables checkpointing, so runners that ignore it (test
+// injections) keep working unchanged apart from the extra parameter.
+type RunEnv struct {
+	// CheckpointEvery asks the runner to snapshot every N completed
+	// cycles; 0 disables periodic checkpoints.
+	CheckpointEvery int
+	// Resume holds an encoded checkpoint to restore before running; nil
+	// starts fresh.
+	Resume []byte
+	// SpecJSON is the canonical spec encoding stored in each
+	// checkpoint's Meta.Extra, so a restarted server can rebuild the job
+	// from the spool file alone.
+	SpecJSON []byte
+	// Write persists one encoded checkpoint, atomically replacing the
+	// job's previous one.
+	Write func([]byte) error
+	// OnResume reports the cycle the run restored at, before any new
+	// cycle executes.
+	OnResume func(cycle int)
+}
 
 // Runner executes one canonical job spec on the simulated machine.  Extra
 // runners can be registered through Config.Runners — the race smoke test
 // injects a panicking domain that way to prove worker isolation.
-type Runner func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error)
+type Runner func(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error)
 
 // defaultRunners maps the built-in domains.
 func defaultRunners() map[string]Runner {
@@ -27,7 +51,62 @@ func defaultRunners() map[string]Runner {
 	}
 }
 
-func runPuzzle(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+// runMachine is the shared checkpointable execution path: build the
+// machine, restore the spooled snapshot if the job is a resumption,
+// register the periodic checkpoint sink, run, and — when the run is
+// cancelled — write one final checkpoint capturing the exact cycle prefix
+// so a restarted server loses no completed work.  Because cancellation
+// lands only at cycle boundaries, the resumed run replays the identical
+// schedule and finishes with the same Stats as an uninterrupted one.
+func runMachine[S any](ctx context.Context, d search.Domain[S], codec wire.Codec[S], spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
+	sch, err := simd.ParseScheme[S](spec.Scheme)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	checkpointing := env.Write != nil && env.CheckpointEvery > 0
+	if checkpointing {
+		opts.CheckpointEvery = env.CheckpointEvery
+	}
+	m, err := simd.NewMachine[S](d, sch, opts)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	if env.Resume != nil {
+		_, snap, err := checkpoint.Decode[S](codec, env.Resume)
+		if err != nil {
+			return metrics.Stats{}, fmt.Errorf("spooled checkpoint: %w", err)
+		}
+		if err := m.RestoreSnapshot(snap); err != nil {
+			return metrics.Stats{}, fmt.Errorf("spooled checkpoint: %w", err)
+		}
+		if env.OnResume != nil {
+			env.OnResume(snap.Cycle)
+		}
+	}
+	meta := checkpoint.Meta{Domain: spec.Domain, Scheme: spec.Scheme, Topology: spec.Topology, Extra: env.SpecJSON}
+	save := func(snap *simd.Snapshot[S]) error {
+		b, err := checkpoint.Encode[S](codec, meta, snap)
+		if err != nil {
+			return err
+		}
+		return env.Write(b)
+	}
+	if checkpointing {
+		m.OnCheckpoint(save)
+	}
+	stats, runErr := m.RunContext(ctx)
+	if runErr != nil && stats.Cancelled && checkpointing {
+		// The run stopped at a clean cycle boundary; spool that exact
+		// prefix rather than the last cadence tick.  On failure the
+		// periodic checkpoint already on disk stays valid for resume.
+		if snap, err := m.Snapshot(); err == nil {
+			_ = save(snap) //lint:allow errdrop the previous periodic checkpoint remains usable
+		}
+	}
+	return stats, runErr
+}
+
+func runPuzzle(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
 	p := spec.Puzzle
 	var start puzzle.Node
 	if len(p.Tiles) == 16 {
@@ -53,27 +132,15 @@ func runPuzzle(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.St
 		// instances.
 		bound, _ = search.FinalIterationBound(dom)
 	}
-	sch, err := simd.ParseScheme[puzzle.Node](spec.Scheme)
-	if err != nil {
-		return metrics.Stats{}, err
-	}
-	return simd.RunContext[puzzle.Node](ctx, search.NewBounded(dom, bound), sch, opts)
+	return runMachine[puzzle.Node](ctx, search.NewBounded(dom, bound), wire.PuzzleCodec{}, spec, opts, env)
 }
 
-func runSynthetic(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
-	sch, err := simd.ParseScheme[synthetic.Node](spec.Scheme)
-	if err != nil {
-		return metrics.Stats{}, err
-	}
-	return simd.RunContext[synthetic.Node](ctx, synthetic.New(spec.Synthetic.W, spec.Synthetic.Seed), sch, opts)
+func runSynthetic(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
+	return runMachine[synthetic.Node](ctx, synthetic.New(spec.Synthetic.W, spec.Synthetic.Seed), wire.SyntheticCodec{}, spec, opts, env)
 }
 
-func runQueens(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
-	sch, err := simd.ParseScheme[queens.Node](spec.Scheme)
-	if err != nil {
-		return metrics.Stats{}, err
-	}
-	return simd.RunContext[queens.Node](ctx, queens.New(spec.Queens.N), sch, opts)
+func runQueens(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
+	return runMachine[queens.Node](ctx, queens.New(spec.Queens.N), wire.QueensCodec{}, spec, opts, env)
 }
 
 // buildOptions translates a canonical spec into engine options.  Workers

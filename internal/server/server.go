@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simdtree/internal/checkpoint"
 	"simdtree/internal/metrics"
 	"simdtree/internal/trace"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	// Runners adds or overrides domain runners (tests inject failure
 	// modes this way).  Built-ins: puzzle, synthetic, queens.
 	Runners map[string]Runner
+	// Spool names a directory where running jobs persist checkpoints for
+	// crash recovery; "" disables spooling.  On startup the server
+	// rescans it and resumes every job a previous process left
+	// interrupted.
+	Spool string
+	// CheckpointEvery is the cycle cadence of spooled checkpoints
+	// (default 1000 when Spool is set; ignored otherwise).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +65,9 @@ func (c Config) withDefaults() Config {
 	if c.SimWorkers <= 0 {
 		c.SimWorkers = 1
 	}
+	if c.Spool != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1000
+	}
 	return c
 }
 
@@ -69,6 +81,7 @@ type Server struct {
 	cache     *resultCache
 	store     *jobStore
 	latencies *schemeLatencies
+	spool     *spool // nil when spooling is disabled
 	ctr       counters
 
 	rootCtx  context.Context
@@ -83,8 +96,10 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool.  When cfg.Spool is
+// set, it also rescans the spool directory and re-queues every job a
+// previous process left checkpointed there.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	runners := defaultRunners()
 	for name, r := range cfg.Runners {
@@ -107,8 +122,19 @@ func New(cfg Config) *Server {
 		queue:     make(chan *job, cfg.QueueSize),
 		started:   time.Now(),
 	}
+	if cfg.Spool != "" {
+		sp, err := openSpool(cfg.Spool)
+		if err != nil {
+			rootStop(errShutdown)
+			return nil, fmt.Errorf("spool %s: %w", cfg.Spool, err)
+		}
+		s.spool = sp
+	}
 	s.startWorkers()
-	return s
+	if s.spool != nil {
+		s.resumeSpooled()
+	}
+	return s, nil
 }
 
 // Shutdown drains the service gracefully: no new submissions are
@@ -163,6 +189,11 @@ type jobResponse struct {
 	Error    string  `json:"error,omitempty"`
 	Spec     JobSpec `json:"spec"`
 
+	// Resumed marks a job recovered from a spooled checkpoint after a
+	// restart; ResumedFromCycle is the cycle the run restored at.
+	Resumed          bool `json:"resumed,omitempty"`
+	ResumedFromCycle int  `json:"resumed_from_cycle,omitempty"`
+
 	// Result fields are present once the job is terminal.
 	Stats      *metrics.Stats `json:"stats,omitempty"`
 	Efficiency float64        `json:"efficiency,omitempty"`
@@ -176,12 +207,14 @@ type jobResponse struct {
 
 func renderJob(v jobView) jobResponse {
 	r := jobResponse{
-		ID:       v.ID,
-		Status:   v.Status,
-		CacheKey: v.Key,
-		CacheHit: v.CacheHit,
-		Error:    v.ErrMsg,
-		Spec:     v.Spec,
+		ID:               v.ID,
+		Status:           v.Status,
+		CacheKey:         v.Key,
+		CacheHit:         v.CacheHit,
+		Error:            v.ErrMsg,
+		Spec:             v.Spec,
+		Resumed:          v.Resumed,
+		ResumedFromCycle: v.ResumedCycle,
 	}
 	if !v.Submitted.IsZero() {
 		r.SubmittedAt = v.Submitted.UTC().Format(time.RFC3339Nano)
@@ -377,9 +410,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]string{"status": status})
 }
 
-// handleVersion implements GET /version from the embedded build info.
+// handleVersion implements GET /version from the embedded build info,
+// plus the checkpoint format version the spool writes and accepts.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	out := map[string]string{"module": "simdtree", "go": "", "version": "(devel)", "vcs_revision": ""}
+	out := map[string]string{
+		"module":            "simdtree",
+		"go":                "",
+		"version":           "(devel)",
+		"vcs_revision":      "",
+		"checkpoint_format": strconv.Itoa(checkpoint.Version),
+	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		out["go"] = bi.GoVersion
 		if bi.Main.Version != "" {
@@ -397,50 +437,54 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 // metricsResponse is the /metrics document: expvar-style counters plus
 // queue and pool gauges and per-scheme latency histograms.
 type metricsResponse struct {
-	UptimeSeconds     float64                  `json:"uptime_seconds"`
-	JobsQueued        int64                    `json:"jobs_queued_total"`
-	JobsRunning       int64                    `json:"jobs_running"`
-	JobsDone          int64                    `json:"jobs_done_total"`
-	JobsCancelled     int64                    `json:"jobs_cancelled_total"`
-	JobsTimeout       int64                    `json:"jobs_timeout_total"`
-	JobsExhausted     int64                    `json:"jobs_exhausted_total"`
-	JobsFailed        int64                    `json:"jobs_failed_total"`
-	JobsRejected      int64                    `json:"jobs_rejected_total"`
-	DomainPanics      int64                    `json:"domain_panics_total"`
-	CacheHits         int64                    `json:"cache_hits_total"`
-	CacheMisses       int64                    `json:"cache_misses_total"`
-	CacheEntries      int                      `json:"cache_entries"`
-	QueueDepth        int                      `json:"queue_depth"`
-	QueueCapacity     int                      `json:"queue_capacity"`
-	Workers           int                      `json:"workers"`
-	BusyWorkers       int64                    `json:"busy_workers"`
-	WorkerUtilization float64                  `json:"worker_utilization"`
-	SchemeLatencies   map[string]histogramJSON `json:"scheme_latency_ms,omitempty"`
+	UptimeSeconds      float64                  `json:"uptime_seconds"`
+	JobsQueued         int64                    `json:"jobs_queued_total"`
+	JobsRunning        int64                    `json:"jobs_running"`
+	JobsDone           int64                    `json:"jobs_done_total"`
+	JobsCancelled      int64                    `json:"jobs_cancelled_total"`
+	JobsTimeout        int64                    `json:"jobs_timeout_total"`
+	JobsExhausted      int64                    `json:"jobs_exhausted_total"`
+	JobsFailed         int64                    `json:"jobs_failed_total"`
+	JobsRejected       int64                    `json:"jobs_rejected_total"`
+	DomainPanics       int64                    `json:"domain_panics_total"`
+	CacheHits          int64                    `json:"cache_hits_total"`
+	CacheMisses        int64                    `json:"cache_misses_total"`
+	CacheEntries       int                      `json:"cache_entries"`
+	QueueDepth         int                      `json:"queue_depth"`
+	QueueCapacity      int                      `json:"queue_capacity"`
+	Workers            int                      `json:"workers"`
+	BusyWorkers        int64                    `json:"busy_workers"`
+	WorkerUtilization  float64                  `json:"worker_utilization"`
+	CheckpointsWritten int64                    `json:"checkpoints_written_total"`
+	JobsResumed        int64                    `json:"jobs_resumed_total"`
+	SchemeLatencies    map[string]histogramJSON `json:"scheme_latency_ms,omitempty"`
 }
 
 // handleMetrics implements GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	busy := s.ctr.busyWorkers.Load()
 	writeJSON(w, http.StatusOK, metricsResponse{
-		UptimeSeconds:     time.Since(s.started).Seconds(),
-		JobsQueued:        s.ctr.jobsQueued.Load(),
-		JobsRunning:       s.ctr.jobsRunning.Load(),
-		JobsDone:          s.ctr.jobsDone.Load(),
-		JobsCancelled:     s.ctr.jobsCancelled.Load(),
-		JobsTimeout:       s.ctr.jobsTimeout.Load(),
-		JobsExhausted:     s.ctr.jobsExhausted.Load(),
-		JobsFailed:        s.ctr.jobsFailed.Load(),
-		JobsRejected:      s.ctr.jobsRejected.Load(),
-		DomainPanics:      s.ctr.panics.Load(),
-		CacheHits:         s.ctr.cacheHits.Load(),
-		CacheMisses:       s.ctr.cacheMisses.Load(),
-		CacheEntries:      s.cache.len(),
-		QueueDepth:        len(s.queue),
-		QueueCapacity:     s.cfg.QueueSize,
-		Workers:           s.cfg.Workers,
-		BusyWorkers:       busy,
-		WorkerUtilization: float64(busy) / float64(s.cfg.Workers),
-		SchemeLatencies:   s.latencies.snapshot(),
+		UptimeSeconds:      time.Since(s.started).Seconds(),
+		JobsQueued:         s.ctr.jobsQueued.Load(),
+		JobsRunning:        s.ctr.jobsRunning.Load(),
+		JobsDone:           s.ctr.jobsDone.Load(),
+		JobsCancelled:      s.ctr.jobsCancelled.Load(),
+		JobsTimeout:        s.ctr.jobsTimeout.Load(),
+		JobsExhausted:      s.ctr.jobsExhausted.Load(),
+		JobsFailed:         s.ctr.jobsFailed.Load(),
+		JobsRejected:       s.ctr.jobsRejected.Load(),
+		DomainPanics:       s.ctr.panics.Load(),
+		CacheHits:          s.ctr.cacheHits.Load(),
+		CacheMisses:        s.ctr.cacheMisses.Load(),
+		CacheEntries:       s.cache.len(),
+		QueueDepth:         len(s.queue),
+		QueueCapacity:      s.cfg.QueueSize,
+		Workers:            s.cfg.Workers,
+		BusyWorkers:        busy,
+		WorkerUtilization:  float64(busy) / float64(s.cfg.Workers),
+		CheckpointsWritten: s.ctr.checkpointsWritten.Load(),
+		JobsResumed:        s.ctr.jobsResumed.Load(),
+		SchemeLatencies:    s.latencies.snapshot(),
 	})
 }
 

@@ -19,7 +19,10 @@ import (
 // testServer boots a Server behind an httptest listener.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -35,12 +38,14 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 // wireJob mirrors jobResponse with the stats kept raw so tests can check
 // byte identity.
 type wireJob struct {
-	ID       string          `json:"id"`
-	Status   Status          `json:"status"`
-	CacheKey string          `json:"cache_key"`
-	CacheHit bool            `json:"cache_hit"`
-	Error    string          `json:"error"`
-	Stats    json.RawMessage `json:"stats"`
+	ID               string          `json:"id"`
+	Status           Status          `json:"status"`
+	CacheKey         string          `json:"cache_key"`
+	CacheHit         bool            `json:"cache_hit"`
+	Error            string          `json:"error"`
+	Resumed          bool            `json:"resumed"`
+	ResumedFromCycle int             `json:"resumed_from_cycle"`
+	Stats            json.RawMessage `json:"stats"`
 }
 
 func postJob(t *testing.T, ts *httptest.Server, spec string) (wireJob, int) {
@@ -321,7 +326,7 @@ func TestQueueBackpressure(t *testing.T) {
 	var once sync.Once
 	t.Cleanup(func() { once.Do(func() { close(release) }) })
 	cfg := Config{Workers: 1, QueueSize: 1, Runners: map[string]Runner{
-		"block": func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+		"block": func(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
 			select {
 			case <-ctx.Done():
 				return metrics.Stats{Cancelled: true}, context.Cause(ctx)
@@ -369,7 +374,7 @@ func TestQueueBackpressure(t *testing.T) {
 // worker survives, and the next job completes.
 func TestPanicIsolation(t *testing.T) {
 	cfg := Config{Workers: 1, Runners: map[string]Runner{
-		"explode": func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+		"explode": func(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
 			panic("boom")
 		},
 	}}
@@ -427,7 +432,10 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	j, _ := postJob(t, ts, queensSpec)

@@ -21,7 +21,7 @@ import (
 // pool under the detector.
 func TestConcurrentSmoke(t *testing.T) {
 	cfg := Config{Workers: 4, QueueSize: 32, Runners: map[string]Runner{
-		"explode": func(ctx context.Context, spec JobSpec, opts simd.Options) (metrics.Stats, error) {
+		"explode": func(ctx context.Context, spec JobSpec, opts simd.Options, env RunEnv) (metrics.Stats, error) {
 			panic("smoke boom")
 		},
 	}}

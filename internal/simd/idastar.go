@@ -43,19 +43,71 @@ func RunIDAStar[S any](d search.CostDomain[S], sch Scheme[S], opts Options, maxI
 // plus the partial statistics of the interrupted iteration, with
 // Stats.Cancelled set, and the context's cause as the error.
 func RunIDAStarContext[S any](ctx context.Context, d search.CostDomain[S], sch Scheme[S], opts Options, maxIters int) (IDAStarResult, error) {
+	return RunIDAStarCheckpointed[S](ctx, d, sch, opts, maxIters, nil, nil)
+}
+
+// RunIDAStarCheckpointed is RunIDAStarContext with checkpoint/restore in
+// the spirit of Horie & Fukunaga's restartable block-parallel IDA*: when
+// sink is non-nil it receives periodic snapshots (Options.CheckpointEvery
+// cadence) whose IDA field records the in-flight iteration's bound and the
+// iterations already completed, and — so an interrupt loses no work — one
+// final snapshot when the run stops on cancellation or on the MaxCycles
+// budget.  Passing such a snapshot as resume continues the run: the
+// completed iterations are replayed from the snapshot, the interrupted
+// iteration resumes at its cycle boundary, and the overall result is
+// byte-identical to an uninterrupted run.  A budget-stopped run can resume
+// under a larger MaxCycles, the Avis–Devroye style budget escalation.
+func RunIDAStarCheckpointed[S any](ctx context.Context, d search.CostDomain[S], sch Scheme[S], opts Options, maxIters int, resume *Snapshot[S], sink func(*Snapshot[S]) error) (IDAStarResult, error) {
 	if d == nil {
 		return IDAStarResult{}, errors.New("simd: nil domain")
 	}
 	var res IDAStarResult
 	bound := d.F(d.Root())
-	for iter := 0; maxIters <= 0 || iter < maxIters; iter++ {
+	iter := 0
+	if resume != nil {
+		if resume.IDA == nil {
+			return IDAStarResult{}, errors.New("simd: snapshot lacks IDA* state; resume it with ResumeContext")
+		}
+		iter = resume.IDA.Iteration
+		bound = resume.IDA.Bound
+		for _, it := range resume.IDA.Done {
+			res.Iterations = append(res.Iterations, it)
+			accumulate(&res.Stats, it.Stats)
+		}
+	}
+	for ; maxIters <= 0 || iter < maxIters; iter++ {
 		b := search.NewBounded(d, bound)
-		st, err := RunContext[S](ctx, b, sch, opts)
+		m, err := NewMachine[S](b, sch, opts)
 		if err != nil {
+			return res, err
+		}
+		if resume != nil {
+			if err := m.RestoreSnapshot(resume); err != nil {
+				return res, err
+			}
+			resume = nil
+		}
+		done := append([]IterationStat(nil), res.Iterations...)
+		if sink != nil {
+			m.OnCheckpoint(func(s *Snapshot[S]) error {
+				s.IDA = &IDAState{Iteration: iter, Bound: bound, Done: done}
+				return sink(s)
+			})
+		}
+		st, runErr := m.RunContext(ctx)
+		if runErr != nil {
 			res.Iterations = append(res.Iterations, IterationStat{Bound: bound, Stats: st})
 			res.Bound = bound
 			accumulate(&res.Stats, st)
-			return res, err
+			if sink != nil && (st.Cancelled || errors.Is(runErr, ErrBudgetExceeded)) {
+				if snap, snapErr := m.Snapshot(); snapErr == nil {
+					snap.IDA = &IDAState{Iteration: iter, Bound: bound, Done: done}
+					if sinkErr := sink(snap); sinkErr != nil {
+						return res, errors.Join(runErr, sinkErr)
+					}
+				}
+			}
+			return res, runErr
 		}
 		res.Iterations = append(res.Iterations, IterationStat{Bound: bound, Stats: st})
 		res.Bound = bound

@@ -75,6 +75,12 @@ type Options struct {
 	Progress func(ProgressInfo)
 	// ProgressEvery sets the Progress callback cadence in cycles.
 	ProgressEvery int
+	// CheckpointEvery invokes the checkpoint sink registered with
+	// Machine.OnCheckpoint every N completed expansion cycles, at the
+	// cycle boundary (the only point where the machine state is a
+	// well-defined prefix of the schedule).  0 disables periodic
+	// checkpoints; the sink can still be driven manually via Snapshot.
+	CheckpointEvery int
 }
 
 // ProgressInfo is the snapshot handed to Options.Progress.
@@ -86,8 +92,13 @@ type ProgressInfo struct {
 	Tpar     time.Duration // virtual time elapsed
 }
 
-// machine is the mutable state of one simulated run.
-type machine[S any] struct {
+// Machine is the mutable state of one simulated run.  NewMachine builds
+// one; RunContext (the method) advances it to completion.  Between cycles
+// — before RunContext starts, after it returns on cancellation, or inside
+// an OnCheckpoint sink — the machine is quiescent and Snapshot /
+// RestoreSnapshot may capture or replace its state.  The package-level Run
+// and RunContext remain the one-call form for runs that never checkpoint.
+type Machine[S any] struct {
 	ctx   context.Context
 	d     search.Domain[S]
 	sch   Scheme[S]
@@ -100,6 +111,15 @@ type machine[S any] struct {
 
 	stats metrics.Stats
 	goals int64
+
+	// initDone records that the Section 7 initial-distribution phase (if
+	// the scheme wants one) has completed; snapshots carry it so a resumed
+	// run re-enters the correct loop.
+	initDone bool
+
+	// ckpt is the sink registered with OnCheckpoint, driven every
+	// Options.CheckpointEvery cycles.
+	ckpt func(*Snapshot[S]) error
 
 	// Search-phase accumulators, reset after every load-balancing phase.
 	phaseCycles  int
@@ -123,17 +143,45 @@ func Run[S any](d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats,
 // the partial Stats accumulated so far with Stats.Cancelled set, plus the
 // context's cause (context.Canceled or context.DeadlineExceeded).
 func RunContext[S any](ctx context.Context, d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	m, err := NewMachine[S](d, sch, opts)
+	if err != nil {
+		return metrics.Stats{}, err
 	}
+	return m.RunContext(ctx)
+}
+
+// ResumeContext restores snap into a fresh machine for (d, sch, opts) and
+// runs it to completion.  The domain, scheme and options must be the ones
+// the snapshotted run was started with; the resumed run then produces
+// Stats and trace byte-identical to the uninterrupted run.  Snapshots
+// taken during a parallel IDA* run carry iteration state and must go
+// through RunIDAStarCheckpointed instead.
+func ResumeContext[S any](ctx context.Context, d search.Domain[S], sch Scheme[S], opts Options, snap *Snapshot[S]) (metrics.Stats, error) {
+	if snap != nil && snap.IDA != nil {
+		return metrics.Stats{}, errors.New("simd: snapshot is from an IDA* run; resume it with RunIDAStarCheckpointed")
+	}
+	m, err := NewMachine[S](d, sch, opts)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	if err := m.RestoreSnapshot(snap); err != nil {
+		return metrics.Stats{}, err
+	}
+	return m.RunContext(ctx)
+}
+
+// NewMachine validates the configuration and builds a machine with the
+// root node on processor 0's stack, ready to run.  The scheme's trigger
+// and balancer are Reset, so schemes may be reused across machines.
+func NewMachine[S any](d search.Domain[S], sch Scheme[S], opts Options) (*Machine[S], error) {
 	if d == nil {
-		return metrics.Stats{}, errors.New("simd: nil domain")
+		return nil, errors.New("simd: nil domain")
 	}
 	if opts.P <= 0 {
-		return metrics.Stats{}, fmt.Errorf("simd: invalid processor count %d", opts.P)
+		return nil, fmt.Errorf("simd: invalid processor count %d", opts.P)
 	}
 	if sch.Trigger == nil || sch.Balancer == nil {
-		return metrics.Stats{}, errors.New("simd: scheme is missing a trigger or balancer")
+		return nil, errors.New("simd: scheme is missing a trigger or balancer")
 	}
 	if sch.Splitter == nil {
 		sch.Splitter = stack.BottomNode[S]{}
@@ -143,8 +191,7 @@ func RunContext[S any](ctx context.Context, d search.Domain[S], sch Scheme[S], o
 		r.Reset()
 	}
 
-	m := &machine[S]{
-		ctx:   ctx,
+	m := &Machine[S]{
 		d:     d,
 		sch:   sch,
 		opts:  opts,
@@ -168,27 +215,58 @@ func RunContext[S any](ctx context.Context, d search.Domain[S], sch Scheme[S], o
 	m.stacks[0].PushLevel([]S{d.Root()})
 	m.stats.P = opts.P
 	m.estLB = m.costs.SingleRoundCost(m.topo, opts.P)
+	return m, nil
+}
+
+// OnCheckpoint registers fn as the machine's checkpoint sink.  The engine
+// calls it synchronously at cycle boundaries, every Options.CheckpointEvery
+// completed cycles, with a deep snapshot of the machine state; an error
+// from fn aborts the run with that error.  A nil Options.CheckpointEvery
+// (zero) leaves the sink dormant.
+func (m *Machine[S]) OnCheckpoint(fn func(*Snapshot[S]) error) { m.ckpt = fn }
+
+// RunContext advances the machine to completion (or cancellation, budget
+// exhaustion, or a checkpoint-sink error) and returns the cumulative
+// Section 3.1 statistics.  After a cancelled run the machine sits at a
+// cycle boundary: Snapshot captures the exact prefix state, and calling
+// RunContext again with a live context continues the schedule in place.
+func (m *Machine[S]) RunContext(ctx context.Context) (metrics.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
+	// A machine resumed after cancellation starts a fresh verdict.
+	m.stats.Cancelled = false
 
 	// Tcalc and Goals are filled in even when the run stops early
 	// (cancellation, MaxCycles) so callers always see consistent partial
 	// aggregates for the completed prefix of the schedule.
 	err := m.run()
+	m.fillDerivedStats()
+	return m.stats, err
+}
+
+// fillDerivedStats computes the aggregates that are functions of the
+// accumulators, so both run exits and snapshots report consistent Stats.
+func (m *Machine[S]) fillDerivedStats() {
 	m.stats.Tcalc = time.Duration(m.stats.W) * m.costs.NodeExpansion
 	m.stats.Goals = m.goals
-	return m.stats, err
 }
 
 // run executes the initial distribution followed by the main
 // search/balance loop.
-func (m *machine[S]) run() error {
-	initTh := m.opts.InitThreshold
-	if initTh == 0 && m.sch.WantInit {
-		initTh = 0.85
-	}
-	if initTh > 0 {
-		if err := m.initialDistribution(initTh); err != nil {
-			return err
+func (m *Machine[S]) run() error {
+	if !m.initDone {
+		initTh := m.opts.InitThreshold
+		if initTh == 0 && m.sch.WantInit {
+			initTh = 0.85
 		}
+		if initTh > 0 {
+			if err := m.initialDistribution(initTh); err != nil {
+				return err
+			}
+		}
+		m.initDone = true
 	}
 	for {
 		if m.done() {
@@ -198,6 +276,9 @@ func (m *machine[S]) run() error {
 			return err
 		}
 		if err := m.checkCtx(); err != nil {
+			return err
+		}
+		if err := m.maybeCheckpoint(); err != nil {
 			return err
 		}
 		active := m.cycle()
@@ -214,7 +295,7 @@ func (m *machine[S]) run() error {
 
 // initialDistribution alternates expansion cycles with distribution phases
 // until the target fraction of PEs has work (Section 7).
-func (m *machine[S]) initialDistribution(threshold float64) error {
+func (m *Machine[S]) initialDistribution(threshold float64) error {
 	if threshold > 1 {
 		threshold = 1
 	}
@@ -227,6 +308,9 @@ func (m *machine[S]) initialDistribution(threshold float64) error {
 			return err
 		}
 		if err := m.checkCtx(); err != nil {
+			return err
+		}
+		if err := m.maybeCheckpoint(); err != nil {
 			return err
 		}
 		active := m.cycle()
@@ -244,8 +328,24 @@ func (m *machine[S]) initialDistribution(threshold float64) error {
 	}
 }
 
+// maybeCheckpoint drives the OnCheckpoint sink at the configured cadence.
+// It runs at the top of a loop iteration, i.e. at the boundary after the
+// previous cycle (and its trigger/balance decision) fully completed, so
+// the snapshot is exactly the k-cycle prefix state.
+func (m *Machine[S]) maybeCheckpoint() error {
+	every := m.opts.CheckpointEvery
+	if every <= 0 || m.ckpt == nil || m.stats.Cycles == 0 || m.stats.Cycles%every != 0 {
+		return nil
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		return err
+	}
+	return m.ckpt(snap)
+}
+
 // done reports whether every stack is empty.
-func (m *machine[S]) done() bool {
+func (m *Machine[S]) done() bool {
 	for _, s := range m.stacks {
 		if !s.Empty() {
 			return false
@@ -255,7 +355,7 @@ func (m *machine[S]) done() bool {
 }
 
 // anyDonor reports whether some PE can split its work.
-func (m *machine[S]) anyDonor() bool {
+func (m *Machine[S]) anyDonor() bool {
 	for _, s := range m.stacks {
 		if s.Splittable() {
 			return true
@@ -265,7 +365,7 @@ func (m *machine[S]) anyDonor() bool {
 }
 
 // checkBudget enforces the MaxCycles safety valve.
-func (m *machine[S]) checkBudget() error {
+func (m *Machine[S]) checkBudget() error {
 	if m.opts.MaxCycles > 0 && m.stats.Cycles >= m.opts.MaxCycles {
 		return fmt.Errorf("simd: %w MaxCycles=%d (W so far %d)", ErrBudgetExceeded, m.opts.MaxCycles, m.stats.W)
 	}
@@ -282,7 +382,7 @@ var ErrBudgetExceeded = errors.New("exceeded")
 // mid-cycle, so the completed prefix of the schedule is untouched by
 // cancellation; it marks the partial stats and returns the cancellation
 // cause.
-func (m *machine[S]) checkCtx() error {
+func (m *Machine[S]) checkCtx() error {
 	select {
 	case <-m.ctx.Done():
 		m.stats.Cancelled = true
@@ -303,7 +403,7 @@ type cycleResult struct {
 // pops its next node, tests it for the goal and pushes its successors.  It
 // returns the number of PEs that expanded a node and charges the virtual
 // clock.
-func (m *machine[S]) cycle() int {
+func (m *Machine[S]) cycle() int {
 	var res cycleResult
 	if m.workers == 1 {
 		res = m.expandRange(0, m.stats.P, nil)
@@ -372,7 +472,7 @@ func (m *machine[S]) cycle() int {
 }
 
 // expandRange expands one node on every non-empty stack in [lo, hi).
-func (m *machine[S]) expandRange(lo, hi int, buf []S) cycleResult {
+func (m *Machine[S]) expandRange(lo, hi int, buf []S) cycleResult {
 	var res cycleResult
 	for i := lo; i < hi; i++ {
 		stk := m.stacks[i]
@@ -395,7 +495,7 @@ func (m *machine[S]) expandRange(lo, hi int, buf []S) cycleResult {
 
 // triggerState assembles the globally reduced view a trigger sees after a
 // cycle.
-func (m *machine[S]) triggerState(active int) trigger.State {
+func (m *Machine[S]) triggerState(active int) trigger.State {
 	return trigger.State{
 		P:       m.stats.P,
 		Active:  active,
@@ -410,7 +510,7 @@ func (m *machine[S]) triggerState(active int) trigger.State {
 // recordSample emits the per-cycle trace sample, including the trigger
 // geometry of Figure 1 (R1 and R2 for the dynamic triggers; A and x*P for
 // static ones).
-func (m *machine[S]) recordSample(st trigger.State) {
+func (m *Machine[S]) recordSample(st trigger.State) {
 	if m.opts.Trace == nil {
 		return
 	}
@@ -438,7 +538,7 @@ func (m *machine[S]) recordSample(st trigger.State) {
 
 // balance runs one load-balancing phase, charges its cost, and resets the
 // search-phase accumulators.
-func (m *machine[S]) balance(initPhase bool) {
+func (m *Machine[S]) balance(initPhase bool) {
 	ctx := &Context[S]{
 		Stacks:       m.stacks,
 		Splitter:     m.sch.Splitter,

@@ -1,0 +1,196 @@
+package simd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"simdtree/internal/match"
+	"simdtree/internal/metrics"
+	"simdtree/internal/search"
+	"simdtree/internal/stack"
+	"simdtree/internal/trace"
+)
+
+// Snapshot is the complete deterministic state of a machine at a cycle
+// boundary: everything the remaining schedule depends on, and nothing
+// else.  Running to cycle k, snapshotting, restoring into a fresh machine
+// and running to the end produces Stats and trace byte-identical to an
+// uninterrupted run — the invariant internal/checkpoint's tests enforce
+// across every Table 1 scheme.
+//
+// A Snapshot owns its data: stacks, trace and domain state are deep copies
+// decoupled from the machine that produced them.
+type Snapshot[S any] struct {
+	// Cycle is the number of completed expansion cycles (== Stats.Cycles).
+	Cycle int
+	// InitDone reports that the Section 7 initial-distribution phase has
+	// completed; a restored run with InitDone false re-enters it.
+	InitDone bool
+	// Stacks holds one DFS stack per processing element, level structure
+	// preserved.
+	Stacks []*stack.Stack[S]
+	// MatcherPointer is the GP global pointer (-1 when parked); it is
+	// ignored for the stateless nGP matcher.
+	MatcherPointer int
+
+	// Search-phase accumulators since the last load-balancing phase — the
+	// ledger the D^K and D^P triggers read (w_idle, w, t) and the static
+	// trigger's phase position.
+	PhaseCycles  int
+	PhaseElapsed time.Duration
+	PhaseWork    time.Duration
+	PhaseIdle    time.Duration
+	// EstLB is L, the projected cost of the next balancing phase.
+	EstLB time.Duration
+
+	// Stats are the cumulative Section 3.1 aggregates of the prefix, with
+	// the derived fields (Tcalc, Goals) filled and Cancelled cleared.
+	Stats metrics.Stats
+
+	// DomainState is the opaque payload of a search.Stateful domain (the
+	// IDA* bounded domain's smallest-pruned-f accumulator); nil for
+	// stateless domains.
+	DomainState []byte
+
+	// Trace is a deep copy of the per-cycle trace recorded so far; nil
+	// when the run is untraced.  Restore preloads the new run's trace
+	// with it so the full trace equals an uninterrupted run's.
+	Trace *trace.Trace
+
+	// IDA carries the surrounding parallel-IDA* iteration state; it is
+	// set only for snapshots taken via RunIDAStarCheckpointed.
+	IDA *IDAState
+}
+
+// IDAState is the iteration-level state of a parallel IDA* run in flight:
+// which cost-bounded iteration the machine snapshot belongs to and the
+// iterations already completed.
+type IDAState struct {
+	// Iteration is the zero-based index of the in-flight iteration.
+	Iteration int
+	// Bound is the cost bound of the in-flight iteration.
+	Bound int
+	// Done lists the completed iterations in bound order.
+	Done []IterationStat
+}
+
+// clone returns a deep copy of the IDA state.
+func (s *IDAState) clone() *IDAState {
+	if s == nil {
+		return nil
+	}
+	c := &IDAState{Iteration: s.Iteration, Bound: s.Bound}
+	c.Done = append([]IterationStat(nil), s.Done...)
+	return c
+}
+
+// Snapshot captures the machine state at the current cycle boundary.  It
+// must only be called while the machine is quiescent: before RunContext,
+// after it returned, or from inside an OnCheckpoint sink.  It returns an
+// error when the scheme uses a stateful balancer the snapshot format
+// cannot capture (none of the paper's Table 1 schemes do).
+func (m *Machine[S]) Snapshot() (*Snapshot[S], error) {
+	ptr, err := m.matcherPointer()
+	if err != nil {
+		return nil, err
+	}
+	m.fillDerivedStats()
+	snap := &Snapshot[S]{
+		Cycle:          m.stats.Cycles,
+		InitDone:       m.initDone,
+		Stacks:         make([]*stack.Stack[S], len(m.stacks)),
+		MatcherPointer: ptr,
+		PhaseCycles:    m.phaseCycles,
+		PhaseElapsed:   m.phaseElapsed,
+		PhaseWork:      m.phaseWork,
+		PhaseIdle:      m.phaseIdle,
+		EstLB:          m.estLB,
+		Stats:          m.stats,
+		Trace:          m.opts.Trace.Clone(),
+	}
+	snap.Stats.Cancelled = false
+	for i, s := range m.stacks {
+		snap.Stacks[i] = s.Clone()
+	}
+	if st, ok := m.d.(search.Stateful); ok {
+		snap.DomainState = st.SaveState()
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot replaces the machine state with snap's, deep-copying so
+// the snapshot stays valid.  The machine must have been built by
+// NewMachine for the same domain, scheme and machine size the snapshot was
+// taken under; mismatches that are detectable (processor count, domain
+// statefulness, IDA* provenance) return an error and leave the machine
+// unchanged.
+func (m *Machine[S]) RestoreSnapshot(snap *Snapshot[S]) error {
+	if snap == nil {
+		return errors.New("simd: nil snapshot")
+	}
+	if len(snap.Stacks) != m.opts.P {
+		return fmt.Errorf("simd: snapshot has %d stacks, machine has P=%d", len(snap.Stacks), m.opts.P)
+	}
+	if snap.Stats.P != m.opts.P {
+		return fmt.Errorf("simd: snapshot stats are for P=%d, machine has P=%d", snap.Stats.P, m.opts.P)
+	}
+	st, stateful := m.d.(search.Stateful)
+	if snap.DomainState != nil && !stateful {
+		return errors.New("simd: snapshot carries domain state but the domain is stateless")
+	}
+	if _, err := m.matcherPointer(); err != nil {
+		return err
+	}
+	if snap.DomainState != nil {
+		if err := st.RestoreState(snap.DomainState); err != nil {
+			return err
+		}
+	}
+	for i, s := range snap.Stacks {
+		m.stacks[i] = s.Clone()
+	}
+	m.stats = snap.Stats
+	m.stats.Cancelled = false
+	m.goals = snap.Stats.Goals
+	m.initDone = snap.InitDone
+	m.phaseCycles = snap.PhaseCycles
+	m.phaseElapsed = snap.PhaseElapsed
+	m.phaseWork = snap.PhaseWork
+	m.phaseIdle = snap.PhaseIdle
+	m.estLB = snap.EstLB
+	m.setMatcherPointer(snap.MatcherPointer)
+	if m.opts.Trace != nil && snap.Trace != nil {
+		pre := snap.Trace.Clone()
+		m.opts.Trace.Samples = pre.Samples
+		m.opts.Trace.Events = pre.Events
+	}
+	return nil
+}
+
+// matcherPointer extracts the cross-phase matcher state.  The paper's
+// schemes all use MatchBalancer, whose only state is the GP pointer; a
+// foreign balancer that carries state of its own (it exposes Reset) cannot
+// be captured and poisons the snapshot.
+func (m *Machine[S]) matcherPointer() (int, error) {
+	if mb, ok := m.sch.Balancer.(*MatchBalancer[S]); ok {
+		if gp, ok := mb.Matcher.(*match.GP); ok {
+			return gp.Pointer(), nil
+		}
+		return -1, nil
+	}
+	if _, stateful := m.sch.Balancer.(interface{ Reset() }); stateful {
+		return 0, fmt.Errorf("simd: balancer %s carries state a snapshot cannot capture", m.sch.Balancer.Name())
+	}
+	return -1, nil
+}
+
+// setMatcherPointer restores the GP pointer; it is a no-op for stateless
+// matchers and balancers.
+func (m *Machine[S]) setMatcherPointer(p int) {
+	if mb, ok := m.sch.Balancer.(*MatchBalancer[S]); ok {
+		if gp, ok := mb.Matcher.(*match.GP); ok {
+			gp.SetPointer(p)
+		}
+	}
+}

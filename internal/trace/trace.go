@@ -39,6 +39,29 @@ type Trace struct {
 // WantDonors reports whether donor capture is requested; it is nil-safe.
 func (t *Trace) WantDonors() bool { return t != nil && t.CaptureDonors }
 
+// Clone returns a deep copy of the trace (donor lists included), so a
+// checkpoint can carry the recorded prefix without aliasing the live run.
+// It is nil-safe.
+func (t *Trace) Clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	c := &Trace{CaptureDonors: t.CaptureDonors}
+	if t.Samples != nil {
+		c.Samples = append([]Sample(nil), t.Samples...)
+	}
+	if t.Events != nil {
+		c.Events = make([]Event, len(t.Events))
+		for i, e := range t.Events {
+			if e.Donors != nil {
+				e.Donors = append([]int(nil), e.Donors...)
+			}
+			c.Events[i] = e
+		}
+	}
+	return c
+}
+
 // RecordCycle appends a per-cycle sample.
 func (t *Trace) RecordCycle(s Sample) {
 	if t == nil {

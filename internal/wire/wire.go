@@ -33,10 +33,22 @@ var ErrTruncated = errors.New("wire: truncated message")
 
 // EncodeStack frames a whole stack: a uvarint level count, then per level
 // a uvarint node count followed by the encoded nodes, bottom level first.
-// It is the byte-for-byte payload of one work transfer.
+// It is the byte-for-byte payload of one work transfer.  Empty interior
+// levels (left behind when bottom-node removal drains a level mid-stack)
+// are invisible to the search order — every stack operation skips or
+// trims them — so the canonical encoding omits them.
 func EncodeStack[S any](c Codec[S], s *stack.Stack[S]) []byte {
-	buf := binary.AppendUvarint(nil, uint64(s.Depth()))
+	depth := 0
 	s.ForEachLevel(func(lv []S) {
+		if len(lv) > 0 {
+			depth++
+		}
+	})
+	buf := binary.AppendUvarint(nil, uint64(depth))
+	s.ForEachLevel(func(lv []S) {
+		if len(lv) == 0 {
+			return
+		}
 		buf = binary.AppendUvarint(buf, uint64(len(lv)))
 		for _, n := range lv {
 			buf = c.AppendNode(buf, n)
