@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench fuzz vet lint fmt serve experiments-quick experiments-full report clean
+.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint fmt serve experiments-quick experiments-full report clean
 
 all: build lint test
 
@@ -18,7 +18,24 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Run the pinned simdbench scenarios and check them against the committed
+# baseline (see DESIGN.md section 11).  bench-baseline regenerates the
+# baseline file after an intentional perf change; bump the number when you
+# want to keep the old trajectory point.
+BENCH_BASELINE ?= BENCH_0.json
+
 bench:
+	$(GO) run ./cmd/simdbench -out /dev/null -compare $(BENCH_BASELINE)
+
+bench-baseline:
+	$(GO) run ./cmd/simdbench -out $(BENCH_BASELINE)
+
+# CI smoke variant: one iteration per scenario, allocation + schedule gate.
+bench-check:
+	$(GO) run ./cmd/simdbench -short -out /dev/null -compare $(BENCH_BASELINE)
+
+# The full go-test microbenchmark suite (allocation counts per benchmark).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzzing bursts over the wire format, puzzle validator, and

@@ -8,9 +8,11 @@ import (
 	"io"
 	"testing"
 
+	"simdtree/internal/bench"
 	"simdtree/internal/experiments"
 	"simdtree/internal/puzzle"
 	"simdtree/internal/search"
+	"simdtree/internal/stack"
 	"simdtree/internal/synthetic"
 )
 
@@ -29,6 +31,7 @@ func tinySuite() (*experiments.Suite[synthetic.Node], experiments.Scale) {
 var benchThresholds = []float64{0.50, 0.70, 0.90}
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Table2(benchThresholds); err != nil {
@@ -38,6 +41,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Table3(); err != nil {
@@ -47,6 +51,7 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Table4(); err != nil {
@@ -56,6 +61,7 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Table5(s.Workloads[1]); err != nil {
@@ -65,12 +71,14 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkTable6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.Table6(io.Discard)
 	}
 }
 
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Fig1("GP-DK", s.Workloads[0]); err != nil {
@@ -80,6 +88,7 @@ func BenchmarkFig1(b *testing.B) {
 }
 
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Table2(benchThresholds)
@@ -91,6 +100,7 @@ func BenchmarkFig3(b *testing.B) {
 }
 
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.IsoGrid(experiments.Fig4Labels(), sc.GridPs, sc.GridWs, sc.Workers,
@@ -101,6 +111,7 @@ func BenchmarkFig4(b *testing.B) {
 }
 
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.IsoGrid(experiments.Fig7Labels(), sc.GridPs, sc.GridWs, sc.Workers,
@@ -111,6 +122,7 @@ func BenchmarkFig7(b *testing.B) {
 }
 
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Fig8(s.Workloads[0]); err != nil {
@@ -120,6 +132,7 @@ func BenchmarkFig8(b *testing.B) {
 }
 
 func BenchmarkAblationSplitter(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationSplitters(sc.Tiers[0], sc.P, 0.85, sc.Workers, io.Discard); err != nil {
@@ -129,6 +142,7 @@ func BenchmarkAblationSplitter(b *testing.B) {
 }
 
 func BenchmarkAblationInit(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationInit(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
@@ -138,6 +152,7 @@ func BenchmarkAblationInit(b *testing.B) {
 }
 
 func BenchmarkAblationTransfers(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationTransfers(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
@@ -147,6 +162,7 @@ func BenchmarkAblationTransfers(b *testing.B) {
 }
 
 func BenchmarkAblationTopology(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationTopology(sc.Tiers[0], sc.P, 0.85, sc.Workers, io.Discard); err != nil {
@@ -156,6 +172,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 }
 
 func BenchmarkAblationMessageSize(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationMessageSize(sc.Tiers[0], sc.P, sc.Workers, 1.0, io.Discard); err != nil {
@@ -165,6 +182,7 @@ func BenchmarkAblationMessageSize(b *testing.B) {
 }
 
 func BenchmarkAblationDKGamma(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationDKGamma(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
@@ -174,6 +192,7 @@ func BenchmarkAblationDKGamma(b *testing.B) {
 }
 
 func BenchmarkAblationHeuristic(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationHeuristic(2023, 24, sc.P, sc.Workers, io.Discard); err != nil {
@@ -183,6 +202,7 @@ func BenchmarkAblationHeuristic(b *testing.B) {
 }
 
 func BenchmarkAnomalies(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Anomalies(16, []uint64{1}, []int{16, 64}, sc.Workers, io.Discard); err != nil {
@@ -192,6 +212,7 @@ func BenchmarkAnomalies(b *testing.B) {
 }
 
 func BenchmarkBaselines(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.BaselineComparison(sc.Tiers[0], sc.P, sc.Workers, io.Discard); err != nil {
@@ -201,6 +222,7 @@ func BenchmarkBaselines(b *testing.B) {
 }
 
 func BenchmarkMIMDComparison(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.MIMDComparison(sc.Tiers[0], sc.P, sc.Workers, 1, io.Discard); err != nil {
@@ -210,6 +232,7 @@ func BenchmarkMIMDComparison(b *testing.B) {
 }
 
 func BenchmarkVariance(b *testing.B) {
+	b.ReportAllocs()
 	_, sc := tinySuite()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Variance(sc.Tiers[0], sc.P, sc.Workers, 3,
@@ -222,6 +245,7 @@ func BenchmarkVariance(b *testing.B) {
 // BenchmarkSerialIDAStar measures the serial 15-puzzle searcher that
 // provides the ground-truth problem sizes.
 func BenchmarkSerialIDAStar(b *testing.B) {
+	b.ReportAllocs()
 	dom := puzzle.NewDomain(puzzle.Scramble(3, 26))
 	b.ResetTimer()
 	var total int64
@@ -234,6 +258,7 @@ func BenchmarkSerialIDAStar(b *testing.B) {
 
 // BenchmarkPuzzleExpand measures raw successor generation.
 func BenchmarkPuzzleExpand(b *testing.B) {
+	b.ReportAllocs()
 	dom := puzzle.NewDomain(puzzle.Scramble(3, 40))
 	node := dom.Root()
 	buf := make([]puzzle.Node, 0, 4)
@@ -242,4 +267,74 @@ func BenchmarkPuzzleExpand(b *testing.B) {
 		buf = dom.Expand(node, buf[:0])
 	}
 	_ = buf
+}
+
+// runScenario is the shared body of the per-phase micro-benchmarks: one
+// op is one full deterministic run of the pinned internal/bench scenario,
+// with the schedule-derived per-cycle and per-phase costs reported as
+// extra metrics so allocation regressions are attributable to a phase.
+func runScenario(b *testing.B, name string) {
+	b.Helper()
+	b.ReportAllocs()
+	sc, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles, phases int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := sc.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles, phases = stats.Cycles, stats.LBPhases
+	}
+	b.StopTimer()
+	if cycles > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns/cycle")
+	}
+	b.ReportMetric(float64(cycles), "cycles/op")
+	b.ReportMetric(float64(phases), "lbphases/op")
+}
+
+// BenchmarkExpansionCycle isolates the node-expansion hot path: the
+// pinned scenario never triggers a load-balancing phase, so every
+// allocation it reports comes from the per-cycle expansion loop.
+func BenchmarkExpansionCycle(b *testing.B) {
+	runScenario(b, bench.ExpansionCycle)
+}
+
+// BenchmarkLBPhase isolates the load-balancing phase: the pinned scenario
+// balances after every cycle, so matching, stack splitting and transfer
+// accounting dominate both time and allocations.
+func BenchmarkLBPhase(b *testing.B) {
+	runScenario(b, bench.LBPhase)
+}
+
+// BenchmarkStackSplit measures the engine's transfer mechanics in steady
+// state: split a donor stack into a recycled spare and copy the donated
+// part onto a receiver, swapping roles when the donor runs dry, exactly as
+// Context.Transfer does during a load-balancing phase.
+func BenchmarkStackSplit(b *testing.B) {
+	b.ReportAllocs()
+	donor := stack.New[int]()
+	buf := make([]int, 4)
+	for l := 0; l < 16; l++ {
+		for j := range buf {
+			buf[j] = l*4 + j
+		}
+		donor.PushLevelCopy(buf)
+	}
+	recv := stack.New[int]()
+	spare := stack.New[int]()
+	sp := stack.BottomNode[int]{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !donor.Splittable() {
+			donor, recv = recv, donor
+		}
+		sp.SplitInto(donor, spare)
+		recv.AppendCopy(spare)
+		spare.Clear()
+	}
 }

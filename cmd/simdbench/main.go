@@ -1,0 +1,223 @@
+// Command simdbench runs the pinned benchmark scenarios of internal/bench
+// and emits a machine-readable baseline (BENCH_<n>.json) recording the
+// repository's performance trajectory: wall-clock and allocation cost per
+// scenario plus the schedule quantities (W, cycles, LB phases) that prove
+// the run executed the exact pinned schedule.
+//
+// With -compare it checks a fresh measurement against a committed baseline
+// and exits non-zero when the schedule drifted (W/cycles/phases differ — a
+// determinism bug, never tolerated) or allocations regressed beyond the
+// tolerance.  Wall-clock time is reported but only gated with -time, since
+// shared CI runners make it noisy; the Workers speedup is gated only on
+// hosts with at least two CPUs, where parallelism can show up in wall-clock
+// time at all.
+//
+// Usage:
+//
+//	simdbench [-short] [-out FILE] [-compare FILE] [-tolerance 0.15] [-time]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"simdtree/internal/bench"
+)
+
+// Result is one scenario's measurement.
+type Result struct {
+	bench.Scenario
+	Iterations  int   `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	TotalW      int64 `json:"total_w"`
+	Cycles      int   `json:"cycles"`
+	LBPhases    int   `json:"lb_phases"`
+}
+
+// Baseline is the BENCH_<n>.json document.  It deliberately carries no
+// timestamp so a committed baseline only changes when the measurements do.
+type Baseline struct {
+	Schema    int      `json:"schema"`
+	GoVersion string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Short     bool     `json:"short,omitempty"`
+	Scenarios []Result `json:"scenarios"`
+	// SpeedupW8OverW1 is the wall-clock ratio of the table5 Workers=1
+	// scenario over the Workers=8 one; about 1.0 on single-CPU hosts.
+	SpeedupW8OverW1 float64 `json:"speedup_w8_over_w1"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	short := flag.Bool("short", false, "one measured iteration per scenario (CI smoke mode)")
+	out := flag.String("out", "", "write the baseline JSON to this file (default stdout)")
+	compare := flag.String("compare", "", "compare against this committed baseline and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional allocs/op regression")
+	gateTime := flag.Bool("time", false, "also gate ns/op against the baseline (noisy on shared runners)")
+	flag.Parse()
+
+	base := Baseline{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Short:     *short,
+	}
+	var nsW1, nsW8 int64
+	for _, sc := range bench.Scenarios() {
+		iters := iterations(sc.Name, *short)
+		res, err := measure(sc, iters)
+		if err != nil {
+			return err
+		}
+		base.Scenarios = append(base.Scenarios, res)
+		switch sc.Name {
+		case bench.Table5W1:
+			nsW1 = res.NsPerOp
+		case bench.Table5W8:
+			nsW8 = res.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %10s/op  %8d allocs/op  %10d B/op  cycles=%d phases=%d\n",
+			sc.Name, time.Duration(res.NsPerOp), res.AllocsPerOp, res.BytesPerOp, res.Cycles, res.LBPhases)
+	}
+	if nsW8 > 0 {
+		base.SpeedupW8OverW1 = float64(nsW1) / float64(nsW8)
+		fmt.Fprintf(os.Stderr, "workers speedup (w1/w8): %.2fx on %d CPU(s)\n", base.SpeedupW8OverW1, base.CPUs)
+	}
+
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+	} else if _, err := os.Stdout.Write(enc); err != nil {
+		return err
+	}
+
+	if *compare != "" {
+		return gate(base, *compare, *tolerance, *gateTime)
+	}
+	return nil
+}
+
+// iterations picks the measured iteration count per scenario: the micro
+// scenarios are cheap and get more samples; the full-scale table5 pair is
+// two orders of magnitude heavier.
+func iterations(name string, short bool) int {
+	if short {
+		return 1
+	}
+	switch name {
+	case bench.Table5W1, bench.Table5W8:
+		return 3
+	default:
+		return 10
+	}
+}
+
+// measure runs the scenario iters times after one warm-up run and derives
+// per-op cost from runtime.MemStats deltas, the same accounting
+// testing.B.ReportAllocs uses (mallocs and total bytes are monotonic
+// counters).
+func measure(sc bench.Scenario, iters int) (Result, error) {
+	stats, err := sc.Run() // warm-up: page in the code path, size the caches
+	if err != nil {
+		return Result{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if stats, err = sc.Run(); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Scenario:    sc,
+		Iterations:  iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		TotalW:      stats.W,
+		Cycles:      stats.Cycles,
+		LBPhases:    stats.LBPhases,
+	}, nil
+}
+
+// gate compares cur against the committed baseline at path and returns an
+// error describing every regression found.
+func gate(cur Baseline, path string, tolerance float64, gateTime bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ref Baseline
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(cur.Scenarios))
+	for _, r := range cur.Scenarios {
+		byName[r.Name] = r
+	}
+	var fails []string
+	for _, want := range ref.Scenarios {
+		got, ok := byName[want.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: scenario missing from current run", want.Name))
+			continue
+		}
+		// Schedule quantities are deterministic: any drift is a
+		// correctness bug, not a perf regression, and has no tolerance.
+		if got.TotalW != want.TotalW || got.Cycles != want.Cycles || got.LBPhases != want.LBPhases {
+			fails = append(fails, fmt.Sprintf("%s: schedule drifted: W=%d cycles=%d phases=%d, baseline W=%d cycles=%d phases=%d",
+				want.Name, got.TotalW, got.Cycles, got.LBPhases, want.TotalW, want.Cycles, want.LBPhases))
+			continue
+		}
+		if limit := float64(want.AllocsPerOp) * (1 + tolerance); float64(got.AllocsPerOp) > limit && got.AllocsPerOp > want.AllocsPerOp+64 {
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+				want.Name, got.AllocsPerOp, want.AllocsPerOp, tolerance*100))
+		}
+		if gateTime {
+			if limit := float64(want.NsPerOp) * (1 + tolerance); float64(got.NsPerOp) > limit {
+				fails = append(fails, fmt.Sprintf("%s: ns/op %d exceeds baseline %d by more than %.0f%%",
+					want.Name, got.NsPerOp, want.NsPerOp, tolerance*100))
+			}
+		}
+	}
+	// The Workers speedup only materialises in wall-clock time when the
+	// host can actually run shards concurrently.
+	if cur.CPUs >= 2 && ref.SpeedupW8OverW1 > 1 && cur.SpeedupW8OverW1 < 1.0 {
+		fails = append(fails, fmt.Sprintf("workers speedup dropped to %.2fx (baseline %.2fx)",
+			cur.SpeedupW8OverW1, ref.SpeedupW8OverW1))
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(fails), path)
+	}
+	fmt.Fprintf(os.Stderr, "no regressions against %s\n", path)
+	return nil
+}

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"simdtree/internal/checkpoint"
 	"simdtree/internal/metrics"
@@ -89,6 +91,9 @@ func run() error {
 		ida    = flag.Bool("ida", false, "puzzle: run complete parallel IDA* (all iterations on the machine) instead of only the final bounded iteration")
 		lc     = flag.Bool("lc", false, "puzzle: use the Manhattan+linear-conflict heuristic (smaller W, costlier bound)")
 
+		cpuProfile = flag.String("pprof", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
+
 		ckptPath   = flag.String("checkpoint", "", "write a resumable checkpoint to this file every -every cycles, plus a final one on interrupt")
 		ckptEvery  = flag.Int("every", 1000, "checkpoint cadence in expansion cycles (with -checkpoint)")
 		resumePath = flag.String("resume", "", "resume an interrupted run from this checkpoint file (domain, scheme and -p must match)")
@@ -128,6 +133,32 @@ exit codes:
 		if cfg.every <= 0 {
 			return fmt.Errorf("-every must be positive, got %d", cfg.every)
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simdsearch: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "simdsearch: memprofile:", err)
+			}
+		}()
 	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -41,16 +41,17 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 2, "concurrent job executors")
-		queueSize  = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
-		cacheSize  = flag.Int("cache", 512, "result cache capacity in entries")
-		history    = flag.Int("history", 4096, "finished jobs kept addressable")
-		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
-		simWorkers = flag.Int("simworkers", 0, "goroutines per simulated cycle (0 = sequential; never changes results)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for running jobs")
-		spool      = flag.String("spool", "", "directory for crash-recovery job checkpoints (empty = disabled); on startup interrupted jobs found there are resumed")
-		ckptEvery  = flag.Int("checkpoint-every", 1000, "cycles between spooled checkpoints of a running job (needs -spool)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 2, "concurrent job executors")
+		queueSize   = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
+		cacheSize   = flag.Int("cache", 512, "result cache capacity in entries")
+		history     = flag.Int("history", 4096, "finished jobs kept addressable")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+		simWorkers  = flag.Int("simworkers", 0, "goroutines per simulated cycle (0 = sequential; never changes results)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for running jobs")
+		spool       = flag.String("spool", "", "directory for crash-recovery job checkpoints (empty = disabled); on startup interrupted jobs found there are resumed")
+		ckptEvery   = flag.Int("checkpoint-every", 1000, "cycles between spooled checkpoints of a running job (needs -spool)")
+		enablePprof = flag.Bool("pprof", false, "serve the net/http/pprof profiling endpoints under /debug/pprof/ (exposes internals; enable only on trusted networks)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -66,6 +67,7 @@ func run() error {
 		SimWorkers:      *simWorkers,
 		Spool:           *spool,
 		CheckpointEvery: *ckptEvery,
+		EnablePprof:     *enablePprof,
 	})
 	if err != nil {
 		return err

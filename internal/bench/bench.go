@@ -1,0 +1,83 @@
+// Package bench pins the benchmark scenarios the repository's performance
+// trajectory is measured against.  The same scenario definitions drive the
+// root-package micro-benchmarks (`go test -bench`) and cmd/simdbench, the
+// harness that writes the committed BENCH_<n>.json baselines the CI
+// regression gate compares new runs to.
+//
+// Scenarios are deliberately tiny compared to the paper's experiments:
+// their point is a stable, deterministic per-operation cost (a run's cycle
+// and transfer schedule is bit-for-bit reproducible), so regressions in
+// allocation count or wall-clock time stand out against a committed
+// baseline instead of drowning in workload noise.
+package bench
+
+import (
+	"fmt"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+)
+
+// Scenario is one pinned benchmark configuration: a synthetic-tree search
+// under a fixed scheme and machine size.  Every field participates in the
+// deterministic schedule, so two runs of the same Scenario expand the same
+// nodes in the same cycles.
+type Scenario struct {
+	Name    string `json:"name"`
+	Scheme  string `json:"scheme"`
+	P       int    `json:"p"`
+	Workers int    `json:"workers"`
+	W       int64  `json:"w"`
+	Seed    uint64 `json:"seed"`
+}
+
+// Run executes the scenario once and returns its Section 3.1 statistics.
+func (sc Scenario) Run() (metrics.Stats, error) {
+	sch, err := simd.ParseScheme[synthetic.Node](sc.Scheme)
+	if err != nil {
+		return metrics.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
+	}
+	return simd.Run[synthetic.Node](synthetic.New(sc.W, sc.Seed), sch,
+		simd.Options{P: sc.P, Workers: sc.Workers})
+}
+
+// Scenario names shared between bench_test.go, cmd/simdbench and the CI
+// gate.  ExpansionCycle and LBPhase isolate the two halves of the engine's
+// hot path; the Table5 pair measures the Workers wall-clock speedup at a
+// full-scale machine size.
+const (
+	ExpansionCycle = "expansion-cycle"
+	LBPhase        = "lb-phase"
+	Table5W1       = "table5-p1024-w1"
+	Table5W8       = "table5-p1024-w8"
+)
+
+// Scenarios returns the pinned suite.
+//
+//   - expansion-cycle: S^0.00 never triggers a balancing phase, so the run
+//     is node-expansion cycles only — the per-cycle hot path in isolation.
+//   - lb-phase: S^1.00 triggers after every cycle, so the run is dominated
+//     by load-balancing phases (matching, splitting, transfer accounting).
+//   - table5-p1024-w{1,8}: the paper's Table 5 shape (P = 1024, a
+//     synthetic tree large enough that the machine saturates) at one and
+//     at eight host workers; the ratio of their wall-clock times is the
+//     Workers speedup simdbench reports.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: ExpansionCycle, Scheme: "GP-S0.00", P: 256, Workers: 1, W: 10_000, Seed: 11},
+		{Name: LBPhase, Scheme: "GP-S1.00", P: 256, Workers: 1, W: 10_000, Seed: 11},
+		{Name: Table5W1, Scheme: "GP-S0.85", P: 1024, Workers: 1, W: 400_000, Seed: 3},
+		{Name: Table5W8, Scheme: "GP-S0.85", P: 1024, Workers: 8, W: 400_000, Seed: 3},
+	}
+}
+
+// ByName returns the named pinned scenario.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("bench: unknown scenario %q", name)
+}

@@ -131,9 +131,12 @@ func Encode[S any](c wire.Codec[S], meta Meta, snap *simd.Snapshot[S]) ([]byte, 
 	if len(snap.DomainState) > 0 {
 		w.blob(snap.DomainState)
 	}
+	sb := wire.GetBuf()
 	for _, s := range snap.Stacks {
-		w.blob(wire.EncodeStack(c, s))
+		*sb = wire.AppendStack((*sb)[:0], c, s)
+		w.blob(*sb)
 	}
+	wire.PutBuf(sb)
 	if snap.Trace != nil {
 		w.trace(snap.Trace)
 	}

@@ -18,6 +18,8 @@
 //   - errdrop: statements and blank assignments that discard an error.
 //   - syncmisuse: WaitGroup.Add inside the goroutine it gates, and lock
 //     values copied through parameters, results or receivers.
+//   - poolreset: sync.Pool.Put of an object that shows no reset before
+//     the Put, which would leak stale state to the next Get.
 //
 // A finding is suppressed by a line comment of the form
 //
@@ -91,7 +93,7 @@ func deterministic(pkg *Package) bool {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, FloatEq, ErrDrop, SyncMisuse}
+	return []*Analyzer{DetRand, MapOrder, FloatEq, ErrDrop, SyncMisuse, PoolReset}
 }
 
 // Run applies analyzers to pkgs, resolves //lint:allow suppressions, and

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolReset flags sync.Pool.Put calls that return an object to the pool
+// without any visible reset first.  A pooled object that still carries
+// the previous user's state is handed to the next Get caller, which in
+// this repository's deterministic packages turns into schedule-dependent
+// output (the classic "stale buffer" bug) and elsewhere into plain data
+// leaks.
+//
+// The check is intentionally shallow and syntactic: inside the function
+// containing the Put, the object must show reset evidence before the Put
+// position — a method call whose name starts with Reset or Clear on the
+// object, or an assignment through the object (x = ..., *x = ...,
+// x.field = ..., x[i] = ...; truncations like *b = (*b)[:0] count).
+// Arguments that cannot carry stale state into the pool (fresh composite
+// literals, call results, &T{} expressions) are skipped.
+var PoolReset = &Analyzer{
+	Name: "poolreset",
+	Doc:  "sync.Pool.Put of an object with no visible reset before the Put",
+	Run:  runPoolReset,
+}
+
+func runPoolReset(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					p.checkPoolPuts(fn.Body)
+				}
+			case *ast.FuncLit:
+				p.checkPoolPuts(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkPoolPuts examines the Pool.Put calls lexically inside body; nested
+// function literals are excluded here because the outer walk visits them
+// as functions in their own right.
+func (p *Pass) checkPoolPuts(body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 || !p.isPoolPut(call) {
+			return
+		}
+		obj := p.putArgObject(call.Args[0])
+		if obj == nil {
+			return // fresh literal, call result, etc.: nothing stale to reset
+		}
+		if p.hasResetBefore(body, obj, call.Pos()) {
+			return
+		}
+		p.Reportf(call.Pos(), "sync.Pool.Put of %s without a visible reset; clear or truncate it first so pooled state cannot leak to the next Get", obj.Name())
+	})
+}
+
+// isPoolPut reports whether call is a method call of (*sync.Pool).Put.
+func (p *Pass) isPoolPut(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && isSyncType(sig.Recv().Type(), "Pool")
+}
+
+// putArgObject resolves the object a Put argument hands to the pool when
+// the argument is a plain identifier or its address; any other shape is
+// unanalyzable (and usually fresh) and yields nil.
+func (p *Pass) putArgObject(arg ast.Expr) types.Object {
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// hasResetBefore reports whether body shows reset evidence for obj at any
+// position before put: a ResetX/ClearX method call on the object or an
+// assignment whose left-hand side roots at it.
+func (p *Pass) hasResetBefore(body *ast.BlockStmt, obj types.Object, put token.Pos) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		if found || n == nil || n.Pos() >= put {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if p.rootObject(lhs) == obj {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			if name := sel.Sel.Name; !strings.HasPrefix(name, "Reset") && !strings.HasPrefix(name, "Clear") {
+				return
+			}
+			if p.rootObject(sel.X) == obj {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// rootObject resolves the identifier an lvalue-like expression is rooted
+// in: *x, x.f, x[i], x[:k] and &x all root in x.
+func (p *Pass) rootObject(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.Ident:
+			return p.Pkg.Info.ObjectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// inspectShallow walks root like ast.Inspect but does not descend into
+// nested function literals.
+func inspectShallow(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}

@@ -1,0 +1,69 @@
+// Package poolreset is a lint fixture for the pool-reset analyzer.
+package poolreset
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// LeakyPut returns the buffer to the pool still holding its contents.
+func LeakyPut(b *bytes.Buffer) {
+	bufPool.Put(b) // want "Put of b without a visible reset"
+}
+
+// ResetPut is the safe pattern: Reset before Put.
+func ResetPut(b *bytes.Buffer) {
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// ResetAfterPut resets too late; the object is already published.
+func ResetAfterPut(b *bytes.Buffer) {
+	bufPool.Put(b) // want "Put of b without a visible reset"
+	b.Reset()
+}
+
+var slicePool = sync.Pool{New: func() any {
+	s := make([]byte, 0, 64)
+	return &s
+}}
+
+// TruncatePut truncates through the pointer before returning it; the
+// assignment counts as reset evidence.
+func TruncatePut(s *[]byte) {
+	*s = (*s)[:0]
+	slicePool.Put(s)
+}
+
+// LeakySlice forgets the truncation.
+func LeakySlice(s *[]byte) {
+	slicePool.Put(s) // want "Put of s without a visible reset"
+}
+
+// FreshPut hands the pool a brand-new object; there is nothing stale to
+// reset and the analyzer stays quiet.
+func FreshPut() {
+	bufPool.Put(new(bytes.Buffer))
+}
+
+// AddressPut puts the address of a local after clearing it.
+func AddressPut() {
+	var scratch []byte
+	scratch = append(scratch, 1, 2, 3)
+	use(scratch)
+	scratch = scratch[:0]
+	slicePool.Put(&scratch)
+}
+
+// AllowedPut demonstrates a reasoned suppression for an object whose
+// reset happens in a helper the analyzer cannot see.
+func AllowedPut(b *bytes.Buffer) {
+	resetElsewhere(b)
+	bufPool.Put(b) //lint:allow poolreset reset happens inside resetElsewhere
+}
+
+func resetElsewhere(b *bytes.Buffer) { b.Reset() }
+
+func use([]byte) {}

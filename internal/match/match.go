@@ -14,7 +14,11 @@
 //
 // Matchers operate on busy/idle flags only; stacks are split by the engine.
 // A Matcher is deliberately sequential state (the global pointer), matching
-// how the CM-2 host maintained it between phases.
+// how the CM-2 host maintained it between phases.  Both matchers keep
+// reusable enumeration scratch so the per-phase matching step does not
+// allocate in steady state, and accept a host-parallelism hint
+// (SetParallelism) that shards the enumeration scans across goroutines with
+// a deterministic reduction — the pairs are bit-identical for any setting.
 package match
 
 import "simdtree/internal/scan"
@@ -26,32 +30,74 @@ type Matcher interface {
 	// Match returns donor-to-receiver pairs.  busy[i] reports that
 	// processor i can split its work (at least two stack nodes); idle[i]
 	// that it has none.  Exactly min(#busy, #idle) pairs are returned.
+	// The returned slice is the matcher's reusable scratch: it is valid
+	// until the next Match call on the same matcher.
 	Match(busy, idle []bool) []scan.Pair
 	// Reset clears any cross-phase state (the global pointer).
 	Reset()
 }
 
+// ParallelMatcher is implemented by matchers whose enumeration scans can be
+// sharded across host goroutines.  The hint never changes the pairs a
+// matcher returns — only how fast they are computed — so the engine wires
+// its Workers option through without affecting determinism.
+type ParallelMatcher interface {
+	Matcher
+	// SetParallelism hints how many goroutines Match may use; values
+	// below 2 select the sequential scans.
+	SetParallelism(workers int)
+}
+
+// arena is the reusable matching scratch shared by both schemes: the busy
+// and idle enumeration ranks, the rendezvous rank-inversion table, and the
+// returned pair slice.  None of it is semantic state — Reset does not touch
+// it — it only keeps steady-state matching allocation-free.
+type arena struct {
+	workers   int
+	busyRanks []int
+	idleRanks []int
+	inv       []int
+	pairs     []scan.Pair
+}
+
+// SetParallelism implements ParallelMatcher.
+func (a *arena) SetParallelism(workers int) { a.workers = workers }
+
+// grow sizes the rank scratch for an n-processor machine.
+func (a *arena) grow(n int) {
+	if cap(a.busyRanks) < n {
+		a.busyRanks = make([]int, n)
+		a.idleRanks = make([]int, n)
+	}
+	a.busyRanks = a.busyRanks[:n]
+	a.idleRanks = a.idleRanks[:n]
+}
+
 // NGP is the pointer-free matching scheme of the prior work: enumeration
-// always starts at processor 0.
-type NGP struct{}
+// always starts at processor 0.  The zero value is ready for use.
+type NGP struct {
+	arena
+}
 
 // Name implements Matcher.
 func (*NGP) Name() string { return "nGP" }
 
-// Reset implements Matcher; NGP is stateless.
+// Reset implements Matcher; NGP carries no cross-phase state.
 func (*NGP) Reset() {}
 
 // Match implements Matcher.
-func (*NGP) Match(busy, idle []bool) []scan.Pair {
-	busyRanks, _ := scan.Enumerate(busy)
-	idleRanks, _ := scan.Enumerate(idle)
-	return scan.Rendezvous(busyRanks, idleRanks)
+func (g *NGP) Match(busy, idle []bool) []scan.Pair {
+	g.grow(len(busy))
+	scan.EnumerateParallelInto(g.busyRanks, busy, g.workers)
+	scan.EnumerateParallelInto(g.idleRanks, idle, g.workers)
+	g.pairs, g.inv = scan.RendezvousInto(g.pairs[:0], g.inv, g.busyRanks, g.idleRanks)
+	return g.pairs
 }
 
 // GP is the paper's global-pointer matching scheme.
 type GP struct {
+	arena
 	pointer int // last processor that donated work; -1 before the first phase
-	primed  bool
 }
 
 // NewGP returns a GP matcher with the pointer parked before processor 0,
@@ -92,9 +138,10 @@ func (g *GP) Match(busy, idle []bool) []scan.Pair {
 	if g.pointer < 0 {
 		start = 0
 	}
-	busyRanks, nBusy := scan.EnumerateFrom(busy, start)
-	idleRanks, nIdle := scan.Enumerate(idle)
-	pairs := scan.Rendezvous(busyRanks, idleRanks)
+	g.grow(n)
+	nBusy := scan.EnumerateFromParallelInto(g.busyRanks, busy, start, g.workers)
+	nIdle := scan.EnumerateParallelInto(g.idleRanks, idle, g.workers)
+	g.pairs, g.inv = scan.RendezvousInto(g.pairs[:0], g.inv, g.busyRanks, g.idleRanks)
 	// Advance the pointer to the donor with the highest matched rank.
 	matched := nBusy
 	if nIdle < matched {
@@ -102,12 +149,12 @@ func (g *GP) Match(busy, idle []bool) []scan.Pair {
 	}
 	if matched > 0 {
 		last := matched - 1
-		for i, r := range busyRanks {
+		for i, r := range g.busyRanks {
 			if r == last {
 				g.pointer = i
 				break
 			}
 		}
 	}
-	return pairs
+	return g.pairs
 }

@@ -11,16 +11,29 @@
 // and so the package documents the algorithm the cost model charges for.
 package scan
 
+import "sync"
+
 // PrefixSum returns the exclusive prefix sum of xs: out[i] is the sum of
 // xs[0..i-1], with out[0] == 0.  The input is not modified.
 func PrefixSum(xs []int) []int {
 	out := make([]int, len(xs))
+	PrefixSumInto(out, xs)
+	return out
+}
+
+// PrefixSumInto computes the exclusive prefix sum of xs into out, which
+// must have the same length, and returns the total sum.  It is the
+// allocation-free form of PrefixSum for callers that reuse scratch.
+func PrefixSumInto(out, xs []int) int {
+	if len(out) != len(xs) {
+		panic("scan: output length mismatch")
+	}
 	sum := 0
 	for i, x := range xs {
 		out[i] = sum
 		sum += x
 	}
-	return out
+	return sum
 }
 
 // InclusivePrefixSum returns the inclusive prefix sum of xs: out[i] is the
@@ -82,6 +95,16 @@ func TreePrefixSum(xs []int) (out []int, steps int) {
 // sets during the load-balancing setup step.
 func Enumerate(flags []bool) (ranks []int, count int) {
 	ranks = make([]int, len(flags))
+	count = EnumerateInto(ranks, flags)
+	return ranks, count
+}
+
+// EnumerateInto is Enumerate writing into caller-provided ranks (which must
+// have the same length as flags); it returns the count of set flags.
+func EnumerateInto(ranks []int, flags []bool) (count int) {
+	if len(ranks) != len(flags) {
+		panic("scan: output length mismatch")
+	}
 	for i, f := range flags {
 		if f {
 			ranks[i] = count
@@ -90,7 +113,7 @@ func Enumerate(flags []bool) (ranks []int, count int) {
 			ranks[i] = -1
 		}
 	}
-	return ranks, count
+	return count
 }
 
 // EnumerateFrom ranks the set positions of flags starting the enumeration
@@ -98,13 +121,23 @@ func Enumerate(flags []bool) (ranks []int, count int) {
 // start receives rank 0.  This is the rotated enumeration underlying the
 // paper's GP (global-pointer) matching scheme.
 func EnumerateFrom(flags []bool, start int) (ranks []int, count int) {
+	ranks = make([]int, len(flags))
+	count = EnumerateFromInto(ranks, flags, start)
+	return ranks, count
+}
+
+// EnumerateFromInto is EnumerateFrom writing into caller-provided ranks
+// (same length as flags); it returns the count of set flags.
+func EnumerateFromInto(ranks []int, flags []bool, start int) (count int) {
 	n := len(flags)
-	ranks = make([]int, n)
+	if len(ranks) != n {
+		panic("scan: output length mismatch")
+	}
 	for i := range ranks {
 		ranks[i] = -1
 	}
 	if n == 0 {
-		return ranks, 0
+		return 0
 	}
 	start = ((start % n) + n) % n
 	for k := 0; k < n; k++ {
@@ -114,7 +147,205 @@ func EnumerateFrom(flags []bool, start int) (ranks []int, count int) {
 			count++
 		}
 	}
-	return ranks, count
+	return count
+}
+
+// parallelMin is the element count below which the parallel prefix
+// operations fall back to their sequential forms: for small inputs the
+// goroutine fan-out costs more than the scan itself.  The cut-over only
+// affects wall-clock time — both paths produce identical output.
+const parallelMin = 2048
+
+// shardBounds returns the [lo, hi) range of shard w when n elements are
+// divided across workers contiguous chunks, the same chunking the engine
+// uses for expansion sharding.
+func shardBounds(w, workers, n int) (lo, hi int) {
+	chunk := (n + workers - 1) / workers
+	lo = w * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// EnumerateParallelInto computes exactly EnumerateInto using up to workers
+// goroutines: each shard counts its set flags, a sequential exclusive scan
+// over the per-shard counts assigns shard offsets, and the shards fill
+// their ranks in parallel.  The reduction order is fixed by shard index, so
+// the output is bit-identical to the sequential form for any worker count.
+func EnumerateParallelInto(ranks []int, flags []bool, workers int) (count int) {
+	n := len(flags)
+	if workers <= 1 || n < parallelMin {
+		return EnumerateInto(ranks, flags)
+	}
+	if len(ranks) != n {
+		panic("scan: output length mismatch")
+	}
+	if workers > n {
+		workers = n
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(w, workers, n)
+			c := 0
+			for i := lo; i < hi; i++ {
+				if flags[i] {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w)
+	}
+	wg.Wait()
+	count = 0
+	for w, c := range counts {
+		counts[w] = count
+		count += c
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(w, workers, n)
+			r := counts[w]
+			for i := lo; i < hi; i++ {
+				if flags[i] {
+					ranks[i] = r
+					r++
+				} else {
+					ranks[i] = -1
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return count
+}
+
+// EnumerateFromParallelInto computes exactly EnumerateFromInto using up to
+// workers goroutines.  The rotated index space (position k enumerates
+// processor (start+k) mod n) is sharded contiguously, so each shard's
+// offset is again a sequential exclusive scan of per-shard counts and the
+// output is bit-identical to the sequential form.
+func EnumerateFromParallelInto(ranks []int, flags []bool, start int, workers int) (count int) {
+	n := len(flags)
+	if workers <= 1 || n < parallelMin {
+		return EnumerateFromInto(ranks, flags, start)
+	}
+	if len(ranks) != n {
+		panic("scan: output length mismatch")
+	}
+	if workers > n {
+		workers = n
+	}
+	start = ((start % n) + n) % n
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(w, workers, n)
+			c := 0
+			for k := lo; k < hi; k++ {
+				i := start + k
+				if i >= n {
+					i -= n
+				}
+				if flags[i] {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w)
+	}
+	wg.Wait()
+	count = 0
+	for w, c := range counts {
+		counts[w] = count
+		count += c
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(w, workers, n)
+			r := counts[w]
+			for k := lo; k < hi; k++ {
+				i := start + k
+				if i >= n {
+					i -= n
+				}
+				if flags[i] {
+					ranks[i] = r
+					r++
+				} else {
+					ranks[i] = -1
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return count
+}
+
+// PrefixSumParallelInto computes exactly PrefixSumInto using up to workers
+// goroutines: per-shard sums, a sequential exclusive scan over them, then a
+// parallel fill.  Integer addition is associative, so the result is
+// bit-identical to the sequential form for any worker count.
+func PrefixSumParallelInto(out, xs []int, workers int) (total int) {
+	n := len(xs)
+	if workers <= 1 || n < parallelMin {
+		return PrefixSumInto(out, xs)
+	}
+	if len(out) != n {
+		panic("scan: output length mismatch")
+	}
+	if workers > n {
+		workers = n
+	}
+	sums := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(w, workers, n)
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			sums[w] = s
+		}(w)
+	}
+	wg.Wait()
+	total = 0
+	for w, s := range sums {
+		sums[w] = total
+		total += s
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(w, workers, n)
+			s := sums[w]
+			for i := lo; i < hi; i++ {
+				out[i] = s
+				s += xs[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	return total
 }
 
 // Sum reduces xs by addition.
@@ -185,28 +416,38 @@ type Pair struct {
 // matched, exactly as in the paper (if I > A, the remaining I-A idle
 // processors receive no work).
 func Rendezvous(busyRanks, idleRanks []int) []Pair {
+	pairs, _ := RendezvousInto(nil, nil, busyRanks, idleRanks)
+	return pairs
+}
+
+// RendezvousInto is Rendezvous appending the matched pairs onto pairs and
+// using inv as the rank-inversion scratch; it returns both (possibly grown)
+// slices so callers can reuse them across phases without allocating.
+// Typical use: pairs, inv = RendezvousInto(pairs[:0], inv, busy, idle).
+func RendezvousInto(pairs []Pair, inv []int, busyRanks, idleRanks []int) ([]Pair, []int) {
 	if len(busyRanks) != len(idleRanks) {
 		panic("scan: rank slices of unequal length")
 	}
-	// Invert the idle enumeration: idleByRank[r] = processor with rank r.
-	idleByRank := make([]int, 0, len(idleRanks))
+	// Invert the idle enumeration: inv[r] = processor with rank r.
 	maxRank := -1
 	for _, r := range idleRanks {
 		if r > maxRank {
 			maxRank = r
 		}
 	}
-	idleByRank = append(idleByRank, make([]int, maxRank+1)...)
+	if cap(inv) < maxRank+1 {
+		inv = make([]int, maxRank+1)
+	}
+	inv = inv[:maxRank+1]
 	for i, r := range idleRanks {
 		if r >= 0 {
-			idleByRank[r] = i
+			inv[r] = i
 		}
 	}
-	var pairs []Pair
 	for i, r := range busyRanks {
 		if r >= 0 && r <= maxRank {
-			pairs = append(pairs, Pair{From: i, To: idleByRank[r]})
+			pairs = append(pairs, Pair{From: i, To: inv[r]})
 		}
 	}
-	return pairs
+	return pairs, inv
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -47,6 +48,11 @@ type Config struct {
 	// CheckpointEvery is the cycle cadence of spooled checkpoints
 	// (default 1000 when Spool is set; ignored otherwise).
 	CheckpointEvery int
+	// EnablePprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/.  Off by default: the profiles expose internals
+	// (heap contents, command line) that do not belong on an open
+	// service port.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +183,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// Registered explicitly rather than via the net/http/pprof
+		// import side effect, so the handlers exist only on this mux
+		// and only when the operator opted in.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

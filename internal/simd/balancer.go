@@ -4,13 +4,17 @@ import (
 	"time"
 
 	"simdtree/internal/match"
+	"simdtree/internal/scan"
 	"simdtree/internal/stack"
 	"simdtree/internal/topology"
 )
 
 // Context exposes the machine state a Balancer manipulates during a
-// load-balancing phase.  Transfers must go through Transfer so the engine
-// can account for them.
+// load-balancing phase.  Transfers must go through Transfer (or, for a
+// whole matching round at once, TransferAll) so the engine can account for
+// them.  The engine keeps one Context per machine and resets it between
+// phases, so the scratch below (flag buffers, spare stacks, per-pair move
+// counts) is reused across the whole run.
 type Context[S any] struct {
 	Stacks   []*stack.Stack[S]
 	Splitter stack.Splitter[S]
@@ -20,45 +24,171 @@ type Context[S any] struct {
 	maxTransfer  int
 	recordDonors bool
 	donors       []int
+
+	// Host-side parallelism (never affects results): workers is the shard
+	// count and runParallel, when non-nil, runs a task once per shard with
+	// a barrier.  The engine wires both from its worker pool; a zero-value
+	// Context runs everything sequentially.
+	workers     int
+	runParallel func(task func(w int))
+
+	// Reusable scratch: busy/idle flag buffers, per-pair move counts, the
+	// per-shard spare stacks that shuttle split work from donor to
+	// receiver, and the pre-bound shard tasks (allocated once, not per
+	// phase).
+	busy, idle   []bool
+	moved        []int
+	curPairs     []scan.Pair
+	spares       []*stack.Stack[S]
+	taskBusy     func(w int)
+	taskIdle     func(w int)
+	taskTransfer func(w int)
+}
+
+// reset prepares the context for a new load-balancing phase.  The donors
+// slice is dropped rather than truncated because the previous phase's trace
+// event aliases it.
+func (c *Context[S]) reset(recordDonors bool) {
+	c.transfers = 0
+	c.maxTransfer = 0
+	c.recordDonors = recordDonors
+	c.donors = nil
 }
 
 // P returns the machine size.
 func (c *Context[S]) P() int { return len(c.Stacks) }
 
-// Busy returns the donor-eligibility flags: processor i can split its work
-// into two non-empty parts (the paper's definition of busy: at least two
-// nodes on the stack).
-func (c *Context[S]) Busy() []bool {
-	flags := make([]bool, len(c.Stacks))
-	for i, s := range c.Stacks {
-		flags[i] = s.Splittable()
+// shardBounds returns shard w's [lo, hi) range over n items, using the
+// same contiguous chunking as the engine's expansion sharding.
+func (c *Context[S]) shardBounds(w, n int) (lo, hi int) {
+	chunk := (n + c.workers - 1) / c.workers
+	lo = w * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
 	}
-	return flags
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
 }
 
-// Idle returns the receiver flags: processor i has no work at all.
-func (c *Context[S]) Idle() []bool {
-	flags := make([]bool, len(c.Stacks))
-	for i, s := range c.Stacks {
-		flags[i] = s.Empty()
+// parallelFlagMin is the machine size below which the flag fills run
+// sequentially; the cut-over affects wall-clock time only.
+const parallelFlagMin = 1024
+
+// Busy returns the donor-eligibility flags: processor i can split its work
+// into two non-empty parts (the paper's definition of busy: at least two
+// nodes on the stack).  The returned slice is the context's scratch and is
+// valid until the next Busy call.
+func (c *Context[S]) Busy() []bool {
+	if cap(c.busy) < len(c.Stacks) {
+		c.busy = make([]bool, len(c.Stacks))
 	}
-	return flags
+	c.busy = c.busy[:len(c.Stacks)]
+	if c.runParallel != nil && len(c.Stacks) >= parallelFlagMin {
+		if c.taskBusy == nil {
+			c.taskBusy = func(w int) {
+				lo, hi := c.shardBounds(w, len(c.Stacks))
+				for i := lo; i < hi; i++ {
+					c.busy[i] = c.Stacks[i].Splittable()
+				}
+			}
+		}
+		c.runParallel(c.taskBusy)
+	} else {
+		for i, s := range c.Stacks {
+			c.busy[i] = s.Splittable()
+		}
+	}
+	return c.busy
+}
+
+// Idle returns the receiver flags: processor i has no work at all.  The
+// returned slice is the context's scratch and is valid until the next Idle
+// call.
+func (c *Context[S]) Idle() []bool {
+	if cap(c.idle) < len(c.Stacks) {
+		c.idle = make([]bool, len(c.Stacks))
+	}
+	c.idle = c.idle[:len(c.Stacks)]
+	if c.runParallel != nil && len(c.Stacks) >= parallelFlagMin {
+		if c.taskIdle == nil {
+			c.taskIdle = func(w int) {
+				lo, hi := c.shardBounds(w, len(c.Stacks))
+				for i := lo; i < hi; i++ {
+					c.idle[i] = c.Stacks[i].Empty()
+				}
+			}
+		}
+		c.runParallel(c.taskIdle)
+	} else {
+		for i, s := range c.Stacks {
+			c.idle[i] = s.Empty()
+		}
+	}
+	return c.idle
+}
+
+// spare returns shard w's spare stack, the recycled intermediary that
+// carries split work from donor to receiver.  Callers must have grown
+// c.spares past w first (see ensureSpares); the lazy stack creation writes
+// only slot w, so concurrent shards do not race.
+func (c *Context[S]) spare(w int) *stack.Stack[S] {
+	if c.spares[w] == nil {
+		c.spares[w] = stack.New[S]()
+	}
+	return c.spares[w]
+}
+
+// ensureSpares grows the spare-stack table to at least n slots.  It must
+// run before (never during) a parallel region.
+func (c *Context[S]) ensureSpares(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for len(c.spares) < n {
+		c.spares = append(c.spares, nil)
+	}
+}
+
+// transferNodes moves split work from processor from to processor to
+// without touching the shared phase accounting; w selects the per-shard
+// spare stack so parallel callers do not share scratch.  It returns the
+// number of stack nodes moved.
+func (c *Context[S]) transferNodes(from, to, w int) int {
+	donor := c.Stacks[from]
+	if !donor.Splittable() {
+		return 0
+	}
+	if is, ok := c.Splitter.(stack.IntoSplitter[S]); ok {
+		sp := c.spare(w)
+		is.SplitInto(donor, sp)
+		n := sp.Size()
+		if n > 0 {
+			c.Stacks[to].AppendCopy(sp)
+		}
+		sp.Clear()
+		return n
+	}
+	// Foreign splitter: fall back to the allocating Split/Append path.
+	donated := c.Splitter.Split(donor)
+	n := donated.Size()
+	if n > 0 {
+		c.Stacks[to].Append(donated)
+	}
+	return n
 }
 
 // Transfer splits the stack of processor from and appends the donated part
 // to processor to.  It reports the number of stack nodes moved; a donor
 // that can no longer split moves nothing.
 func (c *Context[S]) Transfer(from, to int) int {
-	donor := c.Stacks[from]
-	if !donor.Splittable() {
-		return 0
-	}
-	donated := c.Splitter.Split(donor)
-	n := donated.Size()
+	c.ensureSpares(1)
+	n := c.transferNodes(from, to, 0)
 	if n == 0 {
 		return 0
 	}
-	c.Stacks[to].Append(donated)
 	c.transfers++
 	if n > c.maxTransfer {
 		c.maxTransfer = n
@@ -67,6 +197,62 @@ func (c *Context[S]) Transfer(from, to int) int {
 		c.donors = append(c.donors, from)
 	}
 	return n
+}
+
+// parallelPairMin is the pair count below which TransferAll runs
+// sequentially; the cut-over affects wall-clock time only.
+const parallelPairMin = 64
+
+// TransferAll performs every transfer of one matching round and reports how
+// many pairs actually moved work.  The pairs must have pairwise-distinct
+// donors and pairwise-distinct receivers — the guarantee every rendezvous
+// matching round provides — so the stack operations of different pairs are
+// independent and the round can execute across the host worker shards.
+// The phase accounting (transfer count, maximum transfer size, donor trace)
+// is always reduced sequentially in pair order, so the results are
+// bit-identical to calling Transfer pair by pair.
+func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
+	if c.runParallel == nil || len(pairs) < parallelPairMin {
+		done := 0
+		for _, p := range pairs {
+			if c.Transfer(p.From, p.To) > 0 {
+				done++
+			}
+		}
+		return done
+	}
+	c.ensureSpares(c.workers)
+	if cap(c.moved) < len(pairs) {
+		c.moved = make([]int, len(pairs))
+	}
+	c.moved = c.moved[:len(pairs)]
+	c.curPairs = pairs
+	if c.taskTransfer == nil {
+		c.taskTransfer = func(w int) {
+			lo, hi := c.shardBounds(w, len(c.curPairs))
+			for k := lo; k < hi; k++ {
+				p := c.curPairs[k]
+				c.moved[k] = c.transferNodes(p.From, p.To, w)
+			}
+		}
+	}
+	c.runParallel(c.taskTransfer)
+	c.curPairs = nil
+	done := 0
+	for k, n := range c.moved {
+		if n == 0 {
+			continue
+		}
+		done++
+		c.transfers++
+		if n > c.maxTransfer {
+			c.maxTransfer = n
+		}
+		if c.recordDonors {
+			c.donors = append(c.donors, pairs[k].From)
+		}
+	}
+	return done
 }
 
 // Balancer performs the load-balancing phase: matching idle processors
@@ -111,6 +297,9 @@ func (b *MatchBalancer[S]) Reset() { b.Matcher.Reset() }
 
 // Balance implements Balancer.
 func (b *MatchBalancer[S]) Balance(c *Context[S]) (rounds, transfers int) {
+	if pm, ok := b.Matcher.(match.ParallelMatcher); ok {
+		pm.SetParallelism(c.workers)
+	}
 	for {
 		pairs := b.Matcher.Match(c.Busy(), c.Idle())
 		if len(pairs) == 0 {
@@ -120,11 +309,7 @@ func (b *MatchBalancer[S]) Balance(c *Context[S]) (rounds, transfers int) {
 			return rounds, transfers
 		}
 		rounds++
-		for _, p := range pairs {
-			if c.Transfer(p.From, p.To) > 0 {
-				transfers++
-			}
-		}
+		transfers += c.TransferAll(pairs)
 		if !b.Multi {
 			return rounds, transfers
 		}

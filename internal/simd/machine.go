@@ -11,8 +11,11 @@
 //
 // The schedule, node counts and virtual times are bit-for-bit deterministic
 // for a given (domain, scheme, options); the Workers option only shards the
-// expansion work of each cycle across goroutines to speed up wall-clock
-// simulation and never changes results.
+// host-side simulation work — the expansion of each cycle, and the flag
+// scans, matching enumerations and stack transfers of each load-balancing
+// phase — across goroutines to speed up wall-clock simulation and never
+// changes results: every parallel step either writes disjoint state or is
+// reduced sequentially in shard order.
 //
 // One deliberate deviation from the paper's terminology: the paper calls a
 // processor "busy" only when its stack is splittable (at least two nodes).
@@ -108,6 +111,27 @@ type Machine[S any] struct {
 
 	stacks  []*stack.Stack[S]
 	workers int
+
+	// shards are the fixed [lo, hi) PE ranges the worker goroutines cover,
+	// computed once at construction rather than re-derived every cycle.
+	// cycleRes and expandBufs are the matching per-shard result slots and
+	// expansion scratch buffers, reused every cycle so the hot path does
+	// not allocate; taskExpand is the pre-bound shard task.
+	shards     []shardRange
+	cycleRes   []cycleResult
+	expandBufs [][]S
+	taskExpand func(w int)
+
+	// Worker pool: long-lived goroutines (started by RunContext, stopped
+	// when it returns) that execute parTask once per shard between two
+	// barriers, so per-cycle parallelism costs channel signals instead of
+	// goroutine spawns.  parReady is nil while the pool is down.
+	parReady []chan struct{}
+	parWG    sync.WaitGroup
+	parTask  func(w int)
+
+	// lbCtx is the reusable load-balancing context, reset per phase.
+	lbCtx *Context[S]
 
 	stats metrics.Stats
 	goals int64
@@ -215,7 +239,95 @@ func NewMachine[S any](d search.Domain[S], sch Scheme[S], opts Options) (*Machin
 	m.stacks[0].PushLevel([]S{d.Root()})
 	m.stats.P = opts.P
 	m.estLB = m.costs.SingleRoundCost(m.topo, opts.P)
+
+	m.shards = makeShards(opts.P, m.workers)
+	m.workers = len(m.shards)
+	m.cycleRes = make([]cycleResult, len(m.shards))
+	m.expandBufs = make([][]S, len(m.shards))
+	m.taskExpand = func(w int) {
+		sh := m.shards[w]
+		m.cycleRes[w], m.expandBufs[w] = m.expandRange(sh.lo, sh.hi, m.expandBufs[w])
+	}
+	m.lbCtx = &Context[S]{
+		Stacks:   m.stacks,
+		Splitter: m.sch.Splitter,
+		Topo:     m.topo,
+		workers:  m.workers,
+	}
+	if m.workers > 1 {
+		m.lbCtx.runParallel = m.parallel
+	}
 	return m, nil
+}
+
+// shardRange is one worker's fixed [lo, hi) slice of the PE array.
+type shardRange struct{ lo, hi int }
+
+// makeShards divides p processing elements into at most workers contiguous
+// chunks, dropping empty trailing chunks.
+func makeShards(p, workers int) []shardRange {
+	chunk := (p + workers - 1) / workers
+	shards := make([]shardRange, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > p {
+			hi = p
+		}
+		if lo >= hi {
+			break
+		}
+		shards = append(shards, shardRange{lo: lo, hi: hi})
+	}
+	return shards
+}
+
+// startPool launches the worker-pool goroutines; a no-op for sequential
+// machines or when the pool is already up.
+func (m *Machine[S]) startPool() {
+	if m.workers <= 1 || m.parReady != nil {
+		return
+	}
+	m.parReady = make([]chan struct{}, m.workers)
+	for w := range m.parReady {
+		ch := make(chan struct{}, 1)
+		m.parReady[w] = ch
+		go func(w int, ready chan struct{}) {
+			for range ready {
+				m.parTask(w)
+				m.parWG.Done()
+			}
+		}(w, ch)
+	}
+}
+
+// stopPool shuts the worker-pool goroutines down so a quiescent machine
+// holds no background resources.
+func (m *Machine[S]) stopPool() {
+	for _, ch := range m.parReady {
+		close(ch)
+	}
+	m.parReady = nil
+}
+
+// parallel runs task once per shard and waits for all of them.  The channel
+// send publishes parTask to the pool goroutines and the WaitGroup publishes
+// their writes back, so tasks may freely write their own shard's slots.
+// Without a pool (sequential machine, or a call outside RunContext) the
+// shards run in order on the calling goroutine — same results either way.
+func (m *Machine[S]) parallel(task func(w int)) {
+	if m.parReady == nil {
+		for w := 0; w < m.workers; w++ {
+			task(w)
+		}
+		return
+	}
+	m.parTask = task
+	m.parWG.Add(len(m.parReady))
+	for _, ch := range m.parReady {
+		ch <- struct{}{}
+	}
+	m.parWG.Wait()
 }
 
 // OnCheckpoint registers fn as the machine's checkpoint sink.  The engine
@@ -241,7 +353,9 @@ func (m *Machine[S]) RunContext(ctx context.Context) (metrics.Stats, error) {
 	// Tcalc and Goals are filled in even when the run stops early
 	// (cancellation, MaxCycles) so callers always see consistent partial
 	// aggregates for the completed prefix of the schedule.
+	m.startPool()
 	err := m.run()
+	m.stopPool()
 	m.fillDerivedStats()
 	return m.stats, err
 }
@@ -406,28 +520,10 @@ type cycleResult struct {
 func (m *Machine[S]) cycle() int {
 	var res cycleResult
 	if m.workers == 1 {
-		res = m.expandRange(0, m.stats.P, nil)
+		res, m.expandBufs[0] = m.expandRange(0, m.stats.P, m.expandBufs[0])
 	} else {
-		results := make([]cycleResult, m.workers)
-		chunk := (m.stats.P + m.workers - 1) / m.workers
-		var wg sync.WaitGroup
-		for w := 0; w < m.workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > m.stats.P {
-				hi = m.stats.P
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				results[w] = m.expandRange(lo, hi, nil)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for _, r := range results {
+		m.parallel(m.taskExpand)
+		for _, r := range m.cycleRes {
 			res.expanded += r.expanded
 			res.goals += r.goals
 			if r.peak > res.peak {
@@ -471,8 +567,10 @@ func (m *Machine[S]) cycle() int {
 	return active
 }
 
-// expandRange expands one node on every non-empty stack in [lo, hi).
-func (m *Machine[S]) expandRange(lo, hi int, buf []S) cycleResult {
+// expandRange expands one node on every non-empty stack in [lo, hi).  It
+// returns the (possibly grown) expansion buffer so the caller can keep it
+// for the next cycle.
+func (m *Machine[S]) expandRange(lo, hi int, buf []S) (cycleResult, []S) {
 	var res cycleResult
 	for i := lo; i < hi; i++ {
 		stk := m.stacks[i]
@@ -490,7 +588,7 @@ func (m *Machine[S]) expandRange(lo, hi int, buf []S) cycleResult {
 			res.peak = s
 		}
 	}
-	return res
+	return res, buf
 }
 
 // triggerState assembles the globally reduced view a trigger sees after a
@@ -539,12 +637,8 @@ func (m *Machine[S]) recordSample(st trigger.State) {
 // balance runs one load-balancing phase, charges its cost, and resets the
 // search-phase accumulators.
 func (m *Machine[S]) balance(initPhase bool) {
-	ctx := &Context[S]{
-		Stacks:       m.stacks,
-		Splitter:     m.sch.Splitter,
-		Topo:         m.topo,
-		recordDonors: m.opts.Trace.WantDonors(),
-	}
+	ctx := m.lbCtx
+	ctx.reset(m.opts.Trace.WantDonors())
 	rounds, transfers := m.sch.Balancer.Balance(ctx)
 	var cost time.Duration
 	if pc, ok := m.sch.Balancer.(PhaseCoster); ok {

@@ -44,9 +44,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestWorkersDeterminism verifies that sharding cycles across goroutines
-// never changes the simulated schedule or statistics.
-func TestWorkersDeterminism(t *testing.T) {
+// TestWorkersOddShardCount covers a worker count that does not divide P,
+// so the last shard is short; the full Workers-invariance suite (all
+// Table 1 schemes, traces and checkpoint bytes) lives in workers_test.go.
+func TestWorkersOddShardCount(t *testing.T) {
 	tree := synthetic.New(20000, 42)
 	sch, err := ParseScheme[synthetic.Node]("GP-DK")
 	if err != nil {
@@ -56,7 +57,7 @@ func TestWorkersDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 4, 7} {
+	for _, workers := range []int{3, 7} {
 		sch2, _ := ParseScheme[synthetic.Node]("GP-DK")
 		got, err := Run[synthetic.Node](tree, sch2, Options{P: 128, Workers: workers})
 		if err != nil {
@@ -65,9 +66,6 @@ func TestWorkersDeterminism(t *testing.T) {
 		if got != base {
 			t.Errorf("workers=%d: stats diverged\n got %+v\nwant %+v", workers, got, base)
 		}
-	}
-	if base.W != 20000 {
-		t.Errorf("synthetic tree W=%d, want exactly 20000", base.W)
 	}
 }
 

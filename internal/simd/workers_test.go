@@ -1,0 +1,107 @@
+package simd_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"simdtree/internal/checkpoint"
+	"simdtree/internal/metrics"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/trace"
+	"simdtree/internal/wire"
+)
+
+// runTraced performs one full run at the given worker count with donor
+// capture on, then snapshots the quiescent machine and serialises the
+// snapshot, returning every observable artefact of the run.
+func runTraced[S any](t *testing.T, dom search.Domain[S], label string, p, workers int, codec wire.Codec[S]) (metrics.Stats, *trace.Trace, []byte) {
+	t.Helper()
+	sch, err := simd.ParseScheme[S](label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{CaptureDonors: true}
+	m, err := simd.NewMachine[S](dom, sch, simd.Options{P: p, Workers: workers, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := checkpoint.Encode[S](codec, checkpoint.Meta{Domain: "workers-test", Scheme: label}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, tr, blob
+}
+
+// checkWorkersInvariant runs the same configuration at Workers 1, 2, 4
+// and 8 and requires the statistics, the full trace (donor lists
+// included) and the serialised checkpoint to be identical — the checkpoint
+// byte-for-byte.  This is the engine's core contract: the Workers option
+// shards host-side simulation work and must never be observable in any
+// output.
+func checkWorkersInvariant(t *testing.T, run func(workers int) (metrics.Stats, *trace.Trace, []byte)) metrics.Stats {
+	t.Helper()
+	baseStats, baseTrace, baseBlob := run(1)
+	for _, w := range []int{2, 4, 8} {
+		stats, tr, blob := run(w)
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats diverged\n got %+v\nwant %+v", w, stats, baseStats)
+		}
+		if !reflect.DeepEqual(tr, baseTrace) {
+			t.Errorf("workers=%d: trace diverged (%d/%d samples, %d/%d events)",
+				w, len(tr.Samples), len(baseTrace.Samples), len(tr.Events), len(baseTrace.Events))
+		}
+		if !bytes.Equal(blob, baseBlob) {
+			t.Errorf("workers=%d: checkpoint bytes diverged (%d bytes vs %d)", w, len(blob), len(baseBlob))
+		}
+	}
+	return baseStats
+}
+
+// TestWorkersDeterminism verifies the invariant across all six Table 1
+// schemes on both domains, and at P=1024 where the parallel flag-scan and
+// parallel transfer paths of the load-balancing phase engage (below those
+// thresholds the sharded run takes the sequential paths, which would
+// leave the parallel reductions untested).
+func TestWorkersDeterminism(t *testing.T) {
+	for _, label := range simd.Table1Labels(0.85) {
+		t.Run("synthetic/"+label, func(t *testing.T) {
+			tree := synthetic.New(20000, 42)
+			st := checkWorkersInvariant(t, func(workers int) (metrics.Stats, *trace.Trace, []byte) {
+				return runTraced[synthetic.Node](t, tree, label, 128, workers, wire.SyntheticCodec{})
+			})
+			if st.W != 20000 {
+				t.Errorf("synthetic tree W=%d, want exactly 20000", st.W)
+			}
+		})
+		t.Run("synthetic-p1024/"+label, func(t *testing.T) {
+			tree := synthetic.New(60000, 7)
+			checkWorkersInvariant(t, func(workers int) (metrics.Stats, *trace.Trace, []byte) {
+				return runTraced[synthetic.Node](t, tree, label, 1024, workers, wire.SyntheticCodec{})
+			})
+		})
+		t.Run("puzzle/"+label, func(t *testing.T) {
+			inst := puzzle.Scramble(11, 22)
+			dom := puzzle.NewDomain(inst)
+			bound, _ := search.FinalIterationBound(dom)
+			st := checkWorkersInvariant(t, func(workers int) (metrics.Stats, *trace.Trace, []byte) {
+				return runTraced[puzzle.Node](t, search.NewBounded(dom, bound), label, 32, workers, wire.PuzzleCodec{})
+			})
+			if st.Goals == 0 {
+				t.Error("puzzle run found no goal at the final iteration bound")
+			}
+		})
+	}
+}

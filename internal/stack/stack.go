@@ -116,6 +116,43 @@ func (s *Stack[S]) PushLevelCopy(alts []S) {
 	s.size += len(alts)
 }
 
+// PushOne pushes a single alternative as a deeper level, reusing a
+// recycled backing array when one is available.  It is the splitters'
+// donation fast path (SplitInto into a recycled spare stack).
+func (s *Stack[S]) PushOne(n S) {
+	var lv []S
+	if k := len(s.free); k > 0 {
+		lv = s.free[k-1][:1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		lv = make([]S, 1)
+	}
+	lv[0] = n
+	s.levels = append(s.levels, lv)
+	s.size++
+}
+
+// Clear empties the stack in place: element references are zeroed for the
+// garbage collector and the level arrays move to the recycle list (bounded
+// by maxFree), so a cleared stack refills without allocating.  The engine
+// uses it on the per-shard spare stacks that shuttle split work from donor
+// to receiver during a load-balancing phase.
+func (s *Stack[S]) Clear() {
+	var zero S
+	for i, lv := range s.levels {
+		for j := range lv {
+			lv[j] = zero
+		}
+		if cap(lv) > 0 && len(s.free) < maxFree {
+			s.free = append(s.free, lv[:0])
+		}
+		s.levels[i] = nil
+	}
+	s.levels = s.levels[:0]
+	s.size = 0
+}
+
 // removeBottom removes and returns the first alternative of the shallowest
 // non-empty level: the node closest to the root, which (in an unstructured
 // tree) roots the largest expected subtree on the stack.
@@ -149,6 +186,19 @@ func (s *Stack[S]) Append(d *Stack[S]) {
 	}
 	d.levels = nil
 	d.size = 0
+}
+
+// AppendCopy merges the donated stack d into s like Append, but copies the
+// level contents (reusing s's recycled arrays when possible) instead of
+// taking ownership of d's storage.  The donor keeps its backing arrays, so
+// a spare stack that shuttles transferred work can be Cleared and reused
+// without either side allocating in steady state.
+func (s *Stack[S]) AppendCopy(d *Stack[S]) {
+	for _, lv := range d.levels {
+		if len(lv) > 0 {
+			s.PushLevelCopy(lv)
+		}
+	}
 }
 
 // Clone returns a deep structural copy of the stack (node values are
@@ -193,6 +243,17 @@ type Splitter[S any] interface {
 	Split(s *Stack[S]) *Stack[S]
 }
 
+// IntoSplitter is the allocation-free form of Splitter: the donated part is
+// pushed onto dst (which must be empty) instead of a freshly allocated
+// stack, so a recycled spare stack absorbs the split without allocating.
+// The donated contents are identical to Split's.  All splitters in this
+// package implement it; the engine falls back to Split for foreign ones.
+type IntoSplitter[S any] interface {
+	Splitter[S]
+	// SplitInto removes part of src and pushes it onto dst.
+	SplitInto(src, dst *Stack[S])
+}
+
 // BottomNode donates the single alternative at the bottom of the stack.
 // For the 15-puzzle "this appears to provide a reasonable alpha-splitting
 // mechanism" (Section 5): the bottom node roots the largest untried
@@ -203,12 +264,17 @@ type BottomNode[S any] struct{}
 func (BottomNode[S]) Name() string { return "bottom-node" }
 
 // Split implements Splitter.
-func (BottomNode[S]) Split(s *Stack[S]) *Stack[S] {
-	node, ok := s.removeBottom()
-	if !ok {
-		return New[S]()
+func (b BottomNode[S]) Split(s *Stack[S]) *Stack[S] {
+	out := New[S]()
+	b.SplitInto(s, out)
+	return out
+}
+
+// SplitInto implements IntoSplitter.
+func (BottomNode[S]) SplitInto(src, dst *Stack[S]) {
+	if node, ok := src.removeBottom(); ok {
+		dst.PushOne(node)
 	}
-	return New(node)
 }
 
 // HalfStack donates the first half of the alternatives of every level,
@@ -219,35 +285,39 @@ type HalfStack[S any] struct{}
 func (HalfStack[S]) Name() string { return "half-stack" }
 
 // Split implements Splitter.
-func (HalfStack[S]) Split(s *Stack[S]) *Stack[S] {
+func (h HalfStack[S]) Split(s *Stack[S]) *Stack[S] {
 	out := New[S]()
+	h.SplitInto(s, out)
+	return out
+}
+
+// SplitInto implements IntoSplitter.
+func (HalfStack[S]) SplitInto(src, dst *Stack[S]) {
 	moved := 0
-	for i, lv := range s.levels {
+	for i, lv := range src.levels {
 		k := len(lv) / 2
 		if k == 0 {
 			continue
 		}
-		donated := append([]S(nil), lv[:k]...)
+		dst.PushLevelCopy(lv[:k])
 		rest := lv[:copy(lv, lv[k:])]
 		// Zero the vacated tail so the garbage collector can reclaim nodes.
 		var zero S
 		for j := len(rest); j < len(lv); j++ {
 			lv[j] = zero
 		}
-		s.levels[i] = rest
-		s.size -= k
+		src.levels[i] = rest
+		src.size -= k
 		moved += k
-		out.PushLevel(donated)
 	}
 	if moved == 0 {
 		// Every level had a single alternative; fall back to the bottom
 		// node so the split is still non-empty.
-		if node, ok := s.removeBottom(); ok {
-			out.PushLevel([]S{node})
+		if node, ok := src.removeBottom(); ok {
+			dst.PushOne(node)
 		}
 	}
-	s.trim()
-	return out
+	src.trim()
 }
 
 // TopNode donates the single deepest alternative.  It is a deliberately
@@ -259,10 +329,15 @@ type TopNode[S any] struct{}
 func (TopNode[S]) Name() string { return "top-node" }
 
 // Split implements Splitter.
-func (TopNode[S]) Split(s *Stack[S]) *Stack[S] {
-	node, ok := s.Pop()
-	if !ok {
-		return New[S]()
+func (t TopNode[S]) Split(s *Stack[S]) *Stack[S] {
+	out := New[S]()
+	t.SplitInto(s, out)
+	return out
+}
+
+// SplitInto implements IntoSplitter.
+func (TopNode[S]) SplitInto(src, dst *Stack[S]) {
+	if node, ok := src.Pop(); ok {
+		dst.PushOne(node)
 	}
-	return New(node)
 }

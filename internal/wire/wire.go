@@ -12,10 +12,38 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"simdtree/internal/stack"
 )
+
+// bufPool recycles the scratch byte buffers of stack encoding.  Pooling a
+// buffer never affects encoded bytes — every user appends onto a length-0
+// slice — so this is safe in deterministic code; it exists because callers
+// like checkpoint encoding frame one message per PE stack, P allocations
+// per snapshot without reuse.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled byte buffer of length 0.  Pass it back with
+// PutBuf when done; the pointer indirection avoids an allocation per
+// round-trip.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf resets the buffer to length 0 and returns it to the pool, so no
+// stale message bytes can leak into a later user.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
 
 // Codec serialises one node type.
 type Codec[S any] interface {
@@ -38,13 +66,20 @@ var ErrTruncated = errors.New("wire: truncated message")
 // are invisible to the search order — every stack operation skips or
 // trims them — so the canonical encoding omits them.
 func EncodeStack[S any](c Codec[S], s *stack.Stack[S]) []byte {
+	return AppendStack(nil, c, s)
+}
+
+// AppendStack appends the EncodeStack framing of s to buf and returns the
+// extended buffer — the allocation-free form for callers that reuse a
+// scratch buffer (see GetBuf/PutBuf) across many stacks.
+func AppendStack[S any](buf []byte, c Codec[S], s *stack.Stack[S]) []byte {
 	depth := 0
 	s.ForEachLevel(func(lv []S) {
 		if len(lv) > 0 {
 			depth++
 		}
 	})
-	buf := binary.AppendUvarint(nil, uint64(depth))
+	buf = binary.AppendUvarint(buf, uint64(depth))
 	s.ForEachLevel(func(lv []S) {
 		if len(lv) == 0 {
 			return
