@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint fmt serve experiments-quick experiments-full report clean
+.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint fmt serve fleet experiments-quick experiments-full report clean
 
 all: build lint test
 
@@ -61,6 +61,13 @@ fmt:
 # README quickstart for the job API).
 serve:
 	$(GO) run ./cmd/simdserve
+
+# Run a local fleet: coordinator on :18080 fronting three spooled nodes
+# on :18081-:18083 (see DESIGN.md section 12).  Ctrl-C tears it down.
+fleet:
+	$(GO) build -o bin/simdserve ./cmd/simdserve
+	$(GO) build -o bin/simdfleet ./cmd/simdfleet
+	./scripts/fleet.sh
 
 # The paper's evaluation at reduced scale (~2 min).
 experiments-quick:

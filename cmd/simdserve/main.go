@@ -68,6 +68,7 @@ func run() error {
 		Spool:           *spool,
 		CheckpointEvery: *ckptEvery,
 		EnablePprof:     *enablePprof,
+		DrainTimeout:    *drain,
 	})
 	if err != nil {
 		return err
@@ -95,7 +96,7 @@ func run() error {
 	}
 
 	fmt.Fprintln(os.Stderr, "simdserve: shutting down, draining jobs...")
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), svc.DrainTimeout())
 	defer cancel()
 	httpErr := httpSrv.Shutdown(drainCtx)
 	svcErr := svc.Shutdown(drainCtx)

@@ -1,0 +1,43 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+)
+
+// Checkpoint-over-HTTP framing.  An SCKP checkpoint is self-framing —
+// magic, version byte and CRC trailer — so the HTTP body of a shipped
+// checkpoint is exactly the bytes the spool holds on disk, and the same
+// validation (Peek) that guards a spool rescan guards a network
+// transfer.  These helpers exist so the fleet layer (internal/cluster)
+// and the node-side import endpoint agree on the media type and the
+// size bound without re-deriving either.
+
+// ContentType is the media type of a raw SCKP checkpoint shipped over
+// HTTP, used by the node's export/import endpoints and the fleet
+// coordinator's checkpoint puller.
+const ContentType = "application/vnd.simdtree.sckp"
+
+// MaxFrameSize bounds a checkpoint-over-HTTP body.  A P=2^16 machine
+// with deep stacks encodes well under this; anything larger is a
+// corrupt or hostile frame, not a checkpoint.
+const MaxFrameSize = 64 << 20
+
+// ReadFrame reads one SCKP frame from r, enforcing MaxFrameSize, and
+// validates it end to end (magic, version, CRC) via Peek.  It returns
+// the raw bytes — suitable for re-spooling or for Decode with the
+// domain codec — together with the parsed Meta.
+func ReadFrame(r io.Reader) ([]byte, Meta, error) {
+	b, err := io.ReadAll(io.LimitReader(r, MaxFrameSize+1))
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if len(b) > MaxFrameSize {
+		return nil, Meta{}, fmt.Errorf("checkpoint: frame exceeds %d bytes", MaxFrameSize)
+	}
+	meta, err := Peek(b)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return b, meta, nil
+}

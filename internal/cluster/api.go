@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"simdtree/internal/server"
+)
+
+// The coordinator's HTTP surface mirrors a node's /v1/jobs API: a
+// client that speaks simdserve speaks simdfleet.  Responses wrap the
+// owning node's verbatim job document in a fleet envelope that adds the
+// routing facts (node, overflow, failovers).
+
+// nodeJob is the slice of a node's job JSON the coordinator reads.
+type nodeJob struct {
+	ID       string        `json:"id"`
+	Status   server.Status `json:"status"`
+	CacheKey string        `json:"cache_key"`
+}
+
+// fleetJobResponse is the coordinator's wire form of a routed job.
+type fleetJobResponse struct {
+	ID          string          `json:"id"`
+	CacheKey    string          `json:"cache_key"`
+	Node        string          `json:"node"`
+	NodeJobID   string          `json:"node_job_id"`
+	Status      string          `json:"status"`
+	Overflow    bool            `json:"overflow,omitempty"`
+	Failovers   int             `json:"failovers,omitempty"`
+	Resumed     bool            `json:"resumed_by_failover,omitempty"`
+	Unreachable bool            `json:"node_unreachable,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Job         json.RawMessage `json:"job,omitempty"`
+}
+
+func renderFleetJob(v fleetJobView, raw json.RawMessage) fleetJobResponse {
+	return fleetJobResponse{
+		ID:          v.ID,
+		CacheKey:    v.Key,
+		Node:        v.Node,
+		NodeJobID:   v.NodeJobID,
+		Status:      v.Status,
+		Overflow:    v.Overflow,
+		Failovers:   v.Failovers,
+		Resumed:     v.Resumed,
+		Unreachable: v.Unreachable,
+		Error:       v.LastErr,
+		Job:         raw,
+	}
+}
+
+// Handler returns the coordinator's HTTP routing table.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleTrace)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /fleet", c.handleFleet)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// handleSubmit implements POST /v1/jobs: canonicalize against the same
+// rules a node applies, hash the canonical spec, route by ring (or GP
+// overflow), and forward.  A 429/503 from the chosen node triggers one
+// GP retry on the remaining underloaded nodes before the rejection is
+// passed through.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	canonical, err := server.Canonicalize(spec, c.domains)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := server.CacheKey(canonical)
+	specJSON, err := json.Marshal(canonical)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	target, overflow, err := c.route(key)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	nj, raw, err := c.submitToNode(r.Context(), target, specJSON)
+	if err != nil {
+		// The routed node refused or vanished between probe and submit;
+		// give the GP pointer one chance to place the job elsewhere.
+		alt, ok := c.gp.Pick(func(u string) bool {
+			return u != target && c.routable(u) && c.depth(u) <= c.cfg.OverflowDepth
+		})
+		if !ok {
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s: %v", target, err))
+			return
+		}
+		nj, raw, err = c.submitToNode(r.Context(), alt, specJSON)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s: %v", alt, err))
+			return
+		}
+		target, overflow = alt, true
+	}
+
+	f := &fleetJob{
+		id:       "f" + strconv.FormatInt(c.nextID.Add(1), 10),
+		key:      key,
+		spec:     specJSON,
+		overflow: overflow,
+	}
+	f.place(target, nj.ID, string(nj.Status), false)
+	c.jobs.add(f)
+	c.ctr.jobsRouted.Add(1)
+	if overflow {
+		c.ctr.jobsOverflow.Add(1)
+	}
+	code := http.StatusAccepted
+	if terminalStatus(string(nj.Status)) {
+		code = http.StatusOK // node served it from cache
+	}
+	writeJSON(w, code, renderFleetJob(f.snapshot(), raw))
+}
+
+// submitToNode POSTs a canonical spec to one node's /v1/jobs.
+func (c *Coordinator) submitToNode(ctx context.Context, target string, specJSON []byte) (nodeJob, json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/jobs", bytes.NewReader(specJSON))
+	if err != nil {
+		return nodeJob{}, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nodeJob{}, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := readBounded(resp.Body)
+	if err != nil {
+		return nodeJob{}, nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nodeJob{}, nil, fmt.Errorf("node answered %d: %s", resp.StatusCode, truncateForErr(body))
+	}
+	var nj nodeJob
+	if err := json.Unmarshal(body, &nj); err != nil {
+		return nodeJob{}, nil, err
+	}
+	return nj, body, nil
+}
+
+// handleGet implements GET /v1/jobs/{id}: proxy to the owning node and
+// refresh the fleet record.  When the node is unreachable (mid-outage),
+// the last known state is served with node_unreachable set, so pollers
+// keep working across a failover window.
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	f, ok := c.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	f.mu.Lock()
+	node, nodeJobID := f.node, f.nodeJobID
+	f.mu.Unlock()
+	body, code, err := c.getJSONBody(r.Context(), node+"/v1/jobs/"+nodeJobID)
+	if err != nil || code != http.StatusOK {
+		f.mu.Lock()
+		f.unreachable = true
+		f.mu.Unlock()
+		writeJSON(w, http.StatusOK, renderFleetJob(f.snapshot(), nil))
+		return
+	}
+	var nj nodeJob
+	if json.Unmarshal(body, &nj) == nil {
+		f.observe(string(nj.Status))
+	}
+	writeJSON(w, http.StatusOK, renderFleetJob(f.snapshot(), body))
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}, proxied to the owner.
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	f, ok := c.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	f.mu.Lock()
+	node, nodeJobID := f.node, f.nodeJobID
+	f.mu.Unlock()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, node+"/v1/jobs/"+nodeJobID, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("node %s: %v", node, err))
+		return
+	}
+	defer resp.Body.Close()
+	body, err := readBounded(resp.Body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body) //lint:allow errdrop response writer errors are unreportable
+		return
+	}
+	var nj nodeJob
+	if json.Unmarshal(body, &nj) == nil {
+		f.observe(string(nj.Status))
+	}
+	writeJSON(w, http.StatusOK, renderFleetJob(f.snapshot(), body))
+}
+
+// handleTrace implements GET /v1/jobs/{id}/trace as a pure proxy,
+// passing the query string (including ?trace_limit=) through to the
+// owning node.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	f, ok := c.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	f.mu.Lock()
+	node, nodeJobID := f.node, f.nodeJobID
+	f.mu.Unlock()
+	url := node + "/v1/jobs/" + nodeJobID + "/trace"
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	body, code, err := c.getJSONBody(r.Context(), url)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("node %s: %v", node, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body) //lint:allow errdrop response writer errors are unreportable
+}
+
+// handleList implements GET /v1/jobs: the fleet's job records, oldest
+// first, without proxying (statuses are as fresh as the last sync).
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := c.jobs.all()
+	out := make([]fleetJobResponse, 0, len(jobs))
+	for _, f := range jobs {
+		out = append(out, renderFleetJob(f.snapshot(), nil))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleHealthz reports coordinator liveness: ok while at least one
+// node is routable.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, u := range c.order {
+		if c.routable(u) {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy nodes"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// fleetNodeJSON is one node's row in the /fleet document.
+type fleetNodeJSON struct {
+	URL            string  `json:"url"`
+	Status         string  `json:"status"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	Failures       int     `json:"failures"`
+	DrainTimeoutMS int64   `json:"drain_timeout_ms"`
+	LastSeenAgeSec float64 `json:"last_seen_age_seconds,omitempty"`
+}
+
+// handleFleet implements GET /fleet: the membership, health and routing
+// state an operator needs to see at a glance.
+func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	nodes := make([]fleetNodeJSON, 0, len(c.order))
+	for _, u := range c.order {
+		n, ok := c.nodeByURL(u)
+		if !ok {
+			continue
+		}
+		n.mu.Lock()
+		row := fleetNodeJSON{
+			URL:            n.url,
+			Status:         string(n.status),
+			QueueDepth:     n.queueDepth,
+			QueueCapacity:  n.queueCap,
+			Failures:       n.failures,
+			DrainTimeoutMS: n.drain.Milliseconds(),
+		}
+		if !n.lastSeen.IsZero() {
+			row.LastSeenAgeSec = now.Sub(n.lastSeen).Seconds()
+		}
+		n.mu.Unlock()
+		nodes = append(nodes, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": nodes,
+		"ring": map[string]any{
+			"replicas": c.ring.Replicas(),
+			"points":   len(c.ring.points),
+		},
+		"gp_pointer": c.gp.Pointer(),
+	})
+}
+
+// fleetMetrics is the coordinator's /metrics document.
+type fleetMetrics struct {
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	NodesTotal        int     `json:"nodes_total"`
+	NodesHealthy      int     `json:"nodes_healthy"`
+	JobsRouted        int64   `json:"jobs_routed_total"`
+	JobsOverflow      int64   `json:"jobs_overflow_routed_total"`
+	JobsFailedOver    int64   `json:"jobs_failed_over_total"`
+	FailoverResumed   int64   `json:"jobs_failed_over_resumed_total"`
+	CheckpointsPulled int64   `json:"checkpoints_pulled_total"`
+	Probes            int64   `json:"probes_total"`
+	ProbeFailures     int64   `json:"probe_failures_total"`
+	NodesEjected      int64   `json:"nodes_ejected_total"`
+	NodesReadmitted   int64   `json:"nodes_readmitted_total"`
+}
+
+// handleMetrics implements GET /metrics.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, u := range c.order {
+		if c.routable(u) {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, fleetMetrics{
+		UptimeSeconds:     time.Since(c.started).Seconds(),
+		NodesTotal:        len(c.order),
+		NodesHealthy:      healthy,
+		JobsRouted:        c.ctr.jobsRouted.Load(),
+		JobsOverflow:      c.ctr.jobsOverflow.Load(),
+		JobsFailedOver:    c.ctr.jobsFailedOver.Load(),
+		FailoverResumed:   c.ctr.failoverResumed.Load(),
+		CheckpointsPulled: c.ctr.checkpointsPulled.Load(),
+		Probes:            c.ctr.probes.Load(),
+		ProbeFailures:     c.ctr.probeFailures.Load(),
+		NodesEjected:      c.ctr.nodesEjected.Load(),
+		NodesReadmitted:   c.ctr.nodesReadmitted.Load(),
+	})
+}
+
+// maxNodeResponse bounds any body read from a node; traces are the
+// largest legitimate payload and fit comfortably.
+const maxNodeResponse = 64 << 20
+
+func readBounded(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxNodeResponse+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxNodeResponse {
+		return nil, fmt.Errorf("cluster: node response exceeds %d bytes", maxNodeResponse)
+	}
+	return b, nil
+}
+
+// truncateForErr keeps error messages readable when a node answers with
+// a large body.
+func truncateForErr(b []byte) string {
+	const max = 256
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) //lint:allow errdrop response writer errors are unreportable
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

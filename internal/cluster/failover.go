@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"simdtree/internal/checkpoint"
+)
+
+// SyncOnce refreshes every non-terminal job's status from its owning
+// node and pulls a warm copy of its latest spooled checkpoint.  The
+// pulled bytes are what failover ships to a survivor when the owning
+// node dies without a chance to hand anything off — the coordinator is
+// the only place the checkpoint outlives the node.  The background sync
+// loop calls this on its cadence; tests call it to step deterministically.
+func (c *Coordinator) SyncOnce(ctx context.Context) {
+	for _, f := range c.jobs.all() {
+		f.mu.Lock()
+		terminal, node, nodeJobID := f.terminal, f.node, f.nodeJobID
+		f.mu.Unlock()
+		if terminal || node == "" {
+			continue
+		}
+		body, code, err := c.getJSONBody(ctx, node+"/v1/jobs/"+nodeJobID)
+		if err != nil || code != http.StatusOK {
+			f.mu.Lock()
+			f.unreachable = true
+			f.mu.Unlock()
+			continue
+		}
+		var nj nodeJob
+		if json.Unmarshal(body, &nj) != nil {
+			continue
+		}
+		f.observe(string(nj.Status))
+		if terminalStatus(string(nj.Status)) {
+			continue
+		}
+		c.pullCheckpoint(ctx, f, node, nodeJobID)
+	}
+}
+
+// pullCheckpoint fetches the job's latest spooled checkpoint from its
+// node.  A 404 (no checkpoint yet) and a 409 (node runs spool-less) are
+// normal; anything that parses as a valid SCKP frame replaces the warm
+// copy.
+func (c *Coordinator) pullCheckpoint(ctx context.Context, f *fleetJob, node, nodeJobID string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/jobs/"+nodeJobID+"/checkpoint", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	b, _, err := checkpoint.ReadFrame(resp.Body)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	f.ckpt = b
+	f.mu.Unlock()
+	c.ctr.checkpointsPulled.Add(1)
+}
+
+// failover re-dispatches every non-terminal job owned by the dead node
+// to a survivor.  The target is the key's next ring owner among the
+// remaining routable nodes, so the key's routing stays consistent for
+// the rest of the outage.  A job with a warm checkpoint is shipped via
+// the survivor's import endpoint and resumes from its last cycle
+// boundary; a job without one (it died queued, or before its first
+// checkpoint cadence) is re-submitted fresh.  Either way the completed
+// result is byte-identical to an uninterrupted run, by the determinism
+// contract.
+func (c *Coordinator) failover(ctx context.Context, dead string) {
+	for _, f := range c.jobs.all() {
+		f.mu.Lock()
+		owned := !f.terminal && f.node == dead
+		ckpt := f.ckpt
+		f.mu.Unlock()
+		if !owned {
+			continue
+		}
+		target, ok := c.ring.Lookup(f.key, func(u string) bool {
+			return u != dead && c.routable(u)
+		})
+		if !ok {
+			f.mu.Lock()
+			f.lastErr = "failover: no routable survivor"
+			f.unreachable = true
+			f.mu.Unlock()
+			continue
+		}
+		if ckpt != nil {
+			if nj, err := c.importCheckpoint(ctx, target, ckpt); err == nil {
+				f.mu.Lock()
+				f.node = target
+				f.nodeJobID = nj.ID
+				f.status = string(nj.Status)
+				f.terminal = terminalStatus(string(nj.Status))
+				f.resumed = true
+				f.failovers++
+				f.unreachable = false
+				f.lastErr = ""
+				f.mu.Unlock()
+				c.ctr.jobsFailedOver.Add(1)
+				c.ctr.failoverResumed.Add(1)
+				continue
+			}
+		}
+		f.mu.Lock()
+		spec := f.spec
+		f.mu.Unlock()
+		nj, _, err := c.submitToNode(ctx, target, spec)
+		if err != nil {
+			f.mu.Lock()
+			f.lastErr = fmt.Sprintf("failover to %s: %v", target, err)
+			f.unreachable = true
+			f.mu.Unlock()
+			continue
+		}
+		f.mu.Lock()
+		f.node = target
+		f.nodeJobID = nj.ID
+		f.status = string(nj.Status)
+		f.terminal = terminalStatus(string(nj.Status))
+		f.resumed = false
+		f.failovers++
+		f.unreachable = false
+		f.lastErr = ""
+		f.mu.Unlock()
+		c.ctr.jobsFailedOver.Add(1)
+	}
+}
+
+// importCheckpoint ships a warm checkpoint to a survivor's import
+// endpoint and returns the node's job record.
+func (c *Coordinator) importCheckpoint(ctx context.Context, target string, ckpt []byte) (nodeJob, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/jobs/import", bytes.NewReader(ckpt))
+	if err != nil {
+		return nodeJob{}, err
+	}
+	req.Header.Set("Content-Type", checkpoint.ContentType)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nodeJob{}, err
+	}
+	defer resp.Body.Close()
+	body, err := readBounded(resp.Body)
+	if err != nil {
+		return nodeJob{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nodeJob{}, fmt.Errorf("import: node answered %d: %s", resp.StatusCode, truncateForErr(body))
+	}
+	var nj nodeJob
+	if err := json.Unmarshal(body, &nj); err != nil {
+		return nodeJob{}, err
+	}
+	return nj, nil
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "sync"
+
+// GPSelector is the fleet-level instance of the paper's global-pointer
+// matcher (§4.1, Table 1): a rotating pointer over the node list that
+// remembers the last node it targeted, so overflow work fans out
+// round-robin instead of piling onto one cool node.  Where the SIMD
+// machine's GP pointer rotates over *donors* (busy PEs picked to give
+// work away), the fleet pointer rotates over *receivers* (underloaded
+// nodes picked to take overflow) — the invariant is the same: while a
+// node stays eligible, it is never selected twice before every other
+// eligible node has been selected once, i.e. no re-targeting before
+// the pointer wraps.
+type GPSelector struct {
+	mu      sync.Mutex
+	nodes   []string
+	pointer int // index of the last selected node; -1 while parked
+}
+
+// NewGPSelector builds a selector over the fixed node order, with the
+// pointer parked before the first node exactly like match.NewGP parks
+// it before processor 0.
+func NewGPSelector(nodes []string) *GPSelector {
+	return &GPSelector{nodes: append([]string(nil), nodes...), pointer: -1}
+}
+
+// Pick scans from the node after the pointer, wrapping once around, and
+// selects the first node satisfying eligible; the pointer advances to
+// the selection.  It reports false when no node is eligible, leaving
+// the pointer where it was.
+func (g *GPSelector) Pick(eligible func(string) bool) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.nodes)
+	for off := 1; off <= n; off++ {
+		i := (g.pointer + off) % n
+		if i < 0 {
+			i += n
+		}
+		if eligible == nil || eligible(g.nodes[i]) {
+			g.pointer = i
+			return g.nodes[i], true
+		}
+	}
+	return "", false
+}
+
+// Pointer returns the index of the last selected node, or -1 while the
+// pointer is parked; it exists for observability (/fleet) and tests.
+func (g *GPSelector) Pointer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pointer
+}

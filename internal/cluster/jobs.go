@@ -1,0 +1,129 @@
+package cluster
+
+import "sync"
+
+// fleetJob is the coordinator's record of one routed job: where it
+// lives, what key it hashes to, and the warm checkpoint copy that makes
+// failover possible when the owning node dies without warning.
+type fleetJob struct {
+	id   string // fleet-level id ("f1", ...)
+	key  string // canonical cache key; the routing hash
+	spec []byte // canonical spec JSON, for checkpoint-less re-dispatch
+
+	mu          sync.Mutex
+	node        string // owning node URL
+	nodeJobID   string // job id on the owning node
+	status      string // last observed node-side status
+	terminal    bool
+	overflow    bool   // was GP-routed away from its ring home
+	failovers   int    // times re-dispatched after a node death
+	resumed     bool   // last dispatch resumed from a shipped checkpoint
+	unreachable bool   // last proxy attempt failed
+	lastErr     string // last coordination error (e.g. failed failover)
+	ckpt        []byte // latest pulled checkpoint, nil before the first pull
+}
+
+// place records a (re)dispatch to a node.
+func (f *fleetJob) place(node, nodeJobID, status string, resumed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.node = node
+	f.nodeJobID = nodeJobID
+	f.status = status
+	f.terminal = terminalStatus(status)
+	f.resumed = resumed
+	f.unreachable = false
+	f.lastErr = ""
+}
+
+// observe records a status seen while proxying or syncing.
+func (f *fleetJob) observe(status string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.status = status
+	f.terminal = terminalStatus(status)
+	f.unreachable = false
+	if f.terminal {
+		f.ckpt = nil // the result exists; the warm copy is dead weight
+	}
+}
+
+// snapshot returns an immutable copy for handlers.
+func (f *fleetJob) snapshot() fleetJobView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fleetJobView{
+		ID:          f.id,
+		Key:         f.key,
+		Node:        f.node,
+		NodeJobID:   f.nodeJobID,
+		Status:      f.status,
+		Terminal:    f.terminal,
+		Overflow:    f.overflow,
+		Failovers:   f.failovers,
+		Resumed:     f.resumed,
+		Unreachable: f.unreachable,
+		LastErr:     f.lastErr,
+		HasCkpt:     f.ckpt != nil,
+	}
+}
+
+type fleetJobView struct {
+	ID          string
+	Key         string
+	Node        string
+	NodeJobID   string
+	Status      string
+	Terminal    bool
+	Overflow    bool
+	Failovers   int
+	Resumed     bool
+	Unreachable bool
+	LastErr     string
+	HasCkpt     bool
+}
+
+// terminalStatus mirrors the node-side terminal set (server.Status).
+func terminalStatus(s string) bool {
+	switch s {
+	case "done", "cancelled", "timeout", "exhausted", "failed":
+		return true
+	}
+	return false
+}
+
+// fleetStore maps fleet job ids to records, in submission order.
+type fleetStore struct {
+	mu    sync.Mutex
+	byID  map[string]*fleetJob
+	order []string
+}
+
+func newFleetStore() *fleetStore {
+	return &fleetStore{byID: make(map[string]*fleetJob)}
+}
+
+func (s *fleetStore) add(f *fleetJob) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[f.id] = f
+	s.order = append(s.order, f.id)
+}
+
+func (s *fleetStore) get(id string) (*fleetJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.byID[id]
+	return f, ok
+}
+
+// all returns the jobs in submission order.
+func (s *fleetStore) all() []*fleetJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*fleetJob, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out
+}

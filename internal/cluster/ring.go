@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over the fleet's node identifiers.
+// Job routing hashes the job's canonical cache key (the same SHA-256
+// the node-side result cache and checkpoint spool are keyed by) onto
+// the ring, so identical specs always land on the node that already
+// holds the cached or checkpointed result — and a node's death only
+// remaps the keys it owned, not the whole fleet.
+//
+// The ring is immutable after construction; membership changes are
+// expressed through the eligibility predicate at lookup time, which is
+// how an ejected node's keys flow to its ring successor and flow back
+// on readmission.
+type Ring struct {
+	replicas int
+	points   []ringPoint
+	nodes    []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-node count per physical node; enough
+// to even out key ownership across a handful of nodes.
+const DefaultReplicas = 64
+
+// NewRing builds a ring with the given virtual-node count per node
+// (replicas <= 0 selects DefaultReplicas).  Construction is
+// deterministic in the node set: the same nodes yield the same ring in
+// every process, which the failover test relies on to assert that a
+// key routes to the same node before and after a readmission.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		replicas: replicas,
+		nodes:    append([]string(nil), nodes...),
+		points:   make([]ringPoint, 0, len(nodes)*replicas),
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's membership in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Replicas returns the virtual-node count per node.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Lookup walks clockwise from the key's hash to the first point whose
+// node satisfies eligible (nil means every node is eligible).  It
+// reports false only when no node in the ring is eligible.
+func (r *Ring) Lookup(key string, eligible func(string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if eligible == nil || eligible(p.node) {
+			return p.node, true
+		}
+	}
+	return "", false
+}
+
+// ringHash maps a string onto the ring: the first eight bytes of its
+// SHA-256, the same primitive the cache key itself is built from, so
+// the placement is stable across processes and platforms.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "key-" + strconv.Itoa(i)
+	}
+	return keys
+}
+
+// TestRingDeterministic pins that ring construction is independent of
+// the node-list order and of the process: the same membership must
+// place every key identically, or a restarted coordinator would scatter
+// cached results.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 64)
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2"}, 64)
+	for _, k := range sampleKeys(500) {
+		na, ok := a.Lookup(k, nil)
+		if !ok {
+			t.Fatalf("lookup %q failed", k)
+		}
+		nb, _ := b.Lookup(k, nil)
+		if na != nb {
+			t.Fatalf("key %q: ring order changed placement: %s vs %s", k, na, nb)
+		}
+	}
+}
+
+// TestRingCoverage checks the virtual nodes spread keys over every
+// member — the reason replicas exist.
+func TestRingCoverage(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3"}
+	r := NewRing(nodes, 64)
+	owned := map[string]int{}
+	for _, k := range sampleKeys(3000) {
+		n, _ := r.Lookup(k, nil)
+		owned[n]++
+	}
+	for _, n := range nodes {
+		if owned[n] == 0 {
+			t.Errorf("node %s owns no keys out of 3000", n)
+		}
+	}
+}
+
+// TestRingEligibilityRemap pins the consistent-hashing property the
+// failover path relies on: excluding one node moves only the keys it
+// owned (each to a deterministic successor), and restoring it moves
+// exactly those keys back.
+func TestRingEligibilityRemap(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3"}
+	r := NewRing(nodes, 64)
+	keys := sampleKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k, nil)
+	}
+	dead := "http://n2"
+	alive := func(n string) bool { return n != dead }
+	for _, k := range keys {
+		during, ok := r.Lookup(k, alive)
+		if !ok {
+			t.Fatalf("no eligible node for %q", k)
+		}
+		if during == dead {
+			t.Fatalf("key %q routed to excluded node", k)
+		}
+		if before[k] != dead && during != before[k] {
+			t.Errorf("key %q owned by %s moved to %s during an unrelated outage", k, before[k], during)
+		}
+	}
+	// Readmission: placement returns to exactly the pre-outage state.
+	for _, k := range keys {
+		after, _ := r.Lookup(k, nil)
+		if after != before[k] {
+			t.Errorf("key %q: %s before outage, %s after readmission", k, before[k], after)
+		}
+	}
+	// Exclude everything: lookup must report failure, not spin.
+	if _, ok := r.Lookup("x", func(string) bool { return false }); ok {
+		t.Error("lookup succeeded with no eligible nodes")
+	}
+}

@@ -26,6 +26,9 @@ type counters struct {
 
 	checkpointsWritten atomic.Int64 // spool files persisted (periodic + final)
 	jobsResumed        atomic.Int64 // runs restored from a spooled checkpoint
+
+	checkpointsExported atomic.Int64 // checkpoints served to a fleet coordinator
+	jobsImported        atomic.Int64 // jobs accepted with a shipped checkpoint
 }
 
 // latencyBuckets are the upper bounds of the wall-clock job-latency

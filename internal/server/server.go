@@ -53,6 +53,12 @@ type Config struct {
 	// (heap contents, command line) that do not belong on an open
 	// service port.
 	EnablePprof bool
+	// DrainTimeout is the graceful-shutdown grace period the operator
+	// gives running jobs (default 30s).  It is advertised in /version as
+	// drain_timeout_ms so a fleet coordinator draining or ejecting this
+	// node knows exactly how long to wait before declaring its jobs
+	// lost.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,8 +80,15 @@ func (c Config) withDefaults() Config {
 	if c.Spool != "" && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1000
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
 	return c
 }
+
+// DrainTimeout reports the configured graceful-drain grace period, the
+// single source the serving binary and /version both read.
+func (s *Server) DrainTimeout() time.Duration { return s.cfg.DrainTimeout }
 
 // Server is the simdserve HTTP service: a bounded job queue over the
 // deterministic SIMD simulator, with an LRU result cache and
@@ -176,10 +189,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/import", s.handleImport)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleExportCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -253,6 +268,72 @@ func renderJob(v jobView) jobResponse {
 	return r
 }
 
+// newJob builds a queued job with its cancellable context derived from
+// the server's root, shared by submission, import and spool resumption.
+func newJob(s *Server, id string, canonical JobSpec, key string, now time.Time) *job {
+	runCtx, cancel := context.WithCancelCause(s.rootCtx)
+	return &job{
+		id:        id,
+		spec:      canonical,
+		key:       key,
+		runCtx:    runCtx,
+		cancel:    cancel,
+		status:    StatusQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+}
+
+// finishFromCache is the deterministic-cache fast path: when an identical
+// canonical spec already ran to completion, its Stats (and trace) are the
+// job's result, byte for byte.  It reports whether the job was finished
+// that way.
+func (s *Server) finishFromCache(j *job, now time.Time) bool {
+	res, ok := s.cache.get(j.key)
+	if !ok {
+		s.ctr.cacheMisses.Add(1)
+		return false
+	}
+	s.ctr.cacheHits.Add(1)
+	j.cacheHit = true
+	j.status = StatusDone
+	j.stats = res.Stats
+	j.trace = res.Trace
+	j.started = now
+	j.finished = now
+	close(j.done)
+	j.cancel(nil)
+	s.store.add(j)
+	s.ctr.jobsDone.Add(1)
+	return true
+}
+
+// enqueue admits j to the bounded queue, honouring drain state and
+// backpressure.  On success it returns (0, "") with the job stored; on
+// refusal it returns the HTTP status and message, with j's context
+// cancelled.
+func (s *Server) enqueue(j *job) (int, string) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		j.cancel(errShutdown)
+		return http.StatusServiceUnavailable, "server is shutting down"
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		j.cancel(errCancelRequested)
+		s.ctr.jobsRejected.Add(1)
+		return http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d jobs); retry later", s.cfg.QueueSize)
+	}
+	s.ctr.jobsQueued.Add(1)
+	s.store.add(j)
+	return 0, ""
+}
+
 // handleSubmit implements POST /v1/jobs: canonicalize, consult the cache,
 // otherwise enqueue with backpressure.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -272,59 +353,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
 	now := time.Now()
-	runCtx, cancel := context.WithCancelCause(s.rootCtx)
-	j := &job{
-		id:        id,
-		spec:      canonical,
-		key:       key,
-		runCtx:    runCtx,
-		cancel:    cancel,
-		status:    StatusQueued,
-		submitted: now,
-		done:      make(chan struct{}),
-	}
+	j := newJob(s, id, canonical, key, now)
 
-	// Deterministic-cache fast path: an identical canonical spec already
-	// ran to completion, so its Stats (and trace) are the job's result,
-	// byte for byte.
-	if res, ok := s.cache.get(key); ok {
-		s.ctr.cacheHits.Add(1)
-		j.cacheHit = true
-		j.status = StatusDone
-		j.stats = res.Stats
-		j.trace = res.Trace
-		j.started = now
-		j.finished = now
-		close(j.done)
-		cancel(nil)
-		s.store.add(j)
-		s.ctr.jobsDone.Add(1)
+	if s.finishFromCache(j, now) {
 		writeJSON(w, http.StatusOK, renderJob(j.view()))
 		return
 	}
-	s.ctr.cacheMisses.Add(1)
-
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		cancel(errShutdown)
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	if code, msg := s.enqueue(j); code != 0 {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, msg)
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		cancel(errCancelRequested)
-		s.ctr.jobsRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (%d jobs); retry later", s.cfg.QueueSize))
-		return
-	}
-	s.ctr.jobsQueued.Add(1)
-	s.store.add(j)
 	writeJSON(w, http.StatusAccepted, renderJob(j.view()))
 }
 
@@ -380,14 +421,32 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no trace recorded")
 		return
 	}
-	writeJSON(w, http.StatusOK, renderTrace(v.ID, v.Trace))
+	// ?trace_limit=N bounds the payload to the first N samples and
+	// phases; a large-P job's full trace can dwarf everything else a
+	// coordinator fans in, and the totals still tell the reader what was
+	// cut.
+	limit := -1
+	if q := r.URL.Query().Get("trace_limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("trace_limit must be a non-negative integer, got %q", q))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, renderTrace(v.ID, v.Trace, limit))
 }
 
-// traceResponse is the wire form of a per-cycle trace.
+// traceResponse is the wire form of a per-cycle trace.  SamplesTotal and
+// PhasesTotal are the full lengths; Truncated marks a response bounded
+// by ?trace_limit=.
 type traceResponse struct {
-	ID      string        `json:"id"`
-	Samples []traceSample `json:"samples"`
-	Phases  []tracePhase  `json:"phases"`
+	ID           string        `json:"id"`
+	Samples      []traceSample `json:"samples"`
+	Phases       []tracePhase  `json:"phases"`
+	SamplesTotal int           `json:"samples_total"`
+	PhasesTotal  int           `json:"phases_total"`
+	Truncated    bool          `json:"truncated,omitempty"`
 }
 
 type traceSample struct {
@@ -401,12 +460,28 @@ type tracePhase struct {
 	CostNS    int64 `json:"cost_ns"`
 }
 
-func renderTrace(id string, tr *trace.Trace) traceResponse {
-	out := traceResponse{ID: id, Samples: make([]traceSample, len(tr.Samples)), Phases: make([]tracePhase, len(tr.Events))}
-	for i, sm := range tr.Samples {
+// renderTrace converts a trace for the wire, keeping the first limit
+// samples and phases; limit < 0 means unbounded.
+func renderTrace(id string, tr *trace.Trace, limit int) traceResponse {
+	nSamples, nPhases := len(tr.Samples), len(tr.Events)
+	out := traceResponse{ID: id, SamplesTotal: nSamples, PhasesTotal: nPhases}
+	if limit >= 0 && (limit < nSamples || limit < nPhases) {
+		out.Truncated = true
+		if limit < nSamples {
+			nSamples = limit
+		}
+		if limit < nPhases {
+			nPhases = limit
+		}
+	}
+	out.Samples = make([]traceSample, nSamples)
+	out.Phases = make([]tracePhase, nPhases)
+	for i := range out.Samples {
+		sm := tr.Samples[i]
 		out.Samples[i] = traceSample{Cycle: sm.Cycle, Active: sm.Active}
 	}
-	for i, ev := range tr.Events {
+	for i := range out.Phases {
+		ev := tr.Events[i]
 		out.Phases[i] = tracePhase{Cycle: ev.Cycle, Transfers: ev.Transfers, CostNS: int64(ev.Cost)}
 	}
 	return out
@@ -435,6 +510,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 		"version":           "(devel)",
 		"vcs_revision":      "",
 		"checkpoint_format": strconv.Itoa(checkpoint.Version),
+		"drain_timeout_ms":  strconv.FormatInt(s.cfg.DrainTimeout.Milliseconds(), 10),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		out["go"] = bi.GoVersion
@@ -453,54 +529,58 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 // metricsResponse is the /metrics document: expvar-style counters plus
 // queue and pool gauges and per-scheme latency histograms.
 type metricsResponse struct {
-	UptimeSeconds      float64                  `json:"uptime_seconds"`
-	JobsQueued         int64                    `json:"jobs_queued_total"`
-	JobsRunning        int64                    `json:"jobs_running"`
-	JobsDone           int64                    `json:"jobs_done_total"`
-	JobsCancelled      int64                    `json:"jobs_cancelled_total"`
-	JobsTimeout        int64                    `json:"jobs_timeout_total"`
-	JobsExhausted      int64                    `json:"jobs_exhausted_total"`
-	JobsFailed         int64                    `json:"jobs_failed_total"`
-	JobsRejected       int64                    `json:"jobs_rejected_total"`
-	DomainPanics       int64                    `json:"domain_panics_total"`
-	CacheHits          int64                    `json:"cache_hits_total"`
-	CacheMisses        int64                    `json:"cache_misses_total"`
-	CacheEntries       int                      `json:"cache_entries"`
-	QueueDepth         int                      `json:"queue_depth"`
-	QueueCapacity      int                      `json:"queue_capacity"`
-	Workers            int                      `json:"workers"`
-	BusyWorkers        int64                    `json:"busy_workers"`
-	WorkerUtilization  float64                  `json:"worker_utilization"`
-	CheckpointsWritten int64                    `json:"checkpoints_written_total"`
-	JobsResumed        int64                    `json:"jobs_resumed_total"`
-	SchemeLatencies    map[string]histogramJSON `json:"scheme_latency_ms,omitempty"`
+	UptimeSeconds       float64                  `json:"uptime_seconds"`
+	JobsQueued          int64                    `json:"jobs_queued_total"`
+	JobsRunning         int64                    `json:"jobs_running"`
+	JobsDone            int64                    `json:"jobs_done_total"`
+	JobsCancelled       int64                    `json:"jobs_cancelled_total"`
+	JobsTimeout         int64                    `json:"jobs_timeout_total"`
+	JobsExhausted       int64                    `json:"jobs_exhausted_total"`
+	JobsFailed          int64                    `json:"jobs_failed_total"`
+	JobsRejected        int64                    `json:"jobs_rejected_total"`
+	DomainPanics        int64                    `json:"domain_panics_total"`
+	CacheHits           int64                    `json:"cache_hits_total"`
+	CacheMisses         int64                    `json:"cache_misses_total"`
+	CacheEntries        int                      `json:"cache_entries"`
+	QueueDepth          int                      `json:"queue_depth"`
+	QueueCapacity       int                      `json:"queue_capacity"`
+	Workers             int                      `json:"workers"`
+	BusyWorkers         int64                    `json:"busy_workers"`
+	WorkerUtilization   float64                  `json:"worker_utilization"`
+	CheckpointsWritten  int64                    `json:"checkpoints_written_total"`
+	JobsResumed         int64                    `json:"jobs_resumed_total"`
+	CheckpointsExported int64                    `json:"checkpoints_exported_total"`
+	JobsImported        int64                    `json:"jobs_imported_total"`
+	SchemeLatencies     map[string]histogramJSON `json:"scheme_latency_ms,omitempty"`
 }
 
 // handleMetrics implements GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	busy := s.ctr.busyWorkers.Load()
 	writeJSON(w, http.StatusOK, metricsResponse{
-		UptimeSeconds:      time.Since(s.started).Seconds(),
-		JobsQueued:         s.ctr.jobsQueued.Load(),
-		JobsRunning:        s.ctr.jobsRunning.Load(),
-		JobsDone:           s.ctr.jobsDone.Load(),
-		JobsCancelled:      s.ctr.jobsCancelled.Load(),
-		JobsTimeout:        s.ctr.jobsTimeout.Load(),
-		JobsExhausted:      s.ctr.jobsExhausted.Load(),
-		JobsFailed:         s.ctr.jobsFailed.Load(),
-		JobsRejected:       s.ctr.jobsRejected.Load(),
-		DomainPanics:       s.ctr.panics.Load(),
-		CacheHits:          s.ctr.cacheHits.Load(),
-		CacheMisses:        s.ctr.cacheMisses.Load(),
-		CacheEntries:       s.cache.len(),
-		QueueDepth:         len(s.queue),
-		QueueCapacity:      s.cfg.QueueSize,
-		Workers:            s.cfg.Workers,
-		BusyWorkers:        busy,
-		WorkerUtilization:  float64(busy) / float64(s.cfg.Workers),
-		CheckpointsWritten: s.ctr.checkpointsWritten.Load(),
-		JobsResumed:        s.ctr.jobsResumed.Load(),
-		SchemeLatencies:    s.latencies.snapshot(),
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+		JobsQueued:          s.ctr.jobsQueued.Load(),
+		JobsRunning:         s.ctr.jobsRunning.Load(),
+		JobsDone:            s.ctr.jobsDone.Load(),
+		JobsCancelled:       s.ctr.jobsCancelled.Load(),
+		JobsTimeout:         s.ctr.jobsTimeout.Load(),
+		JobsExhausted:       s.ctr.jobsExhausted.Load(),
+		JobsFailed:          s.ctr.jobsFailed.Load(),
+		JobsRejected:        s.ctr.jobsRejected.Load(),
+		DomainPanics:        s.ctr.panics.Load(),
+		CacheHits:           s.ctr.cacheHits.Load(),
+		CacheMisses:         s.ctr.cacheMisses.Load(),
+		CacheEntries:        s.cache.len(),
+		QueueDepth:          len(s.queue),
+		QueueCapacity:       s.cfg.QueueSize,
+		Workers:             s.cfg.Workers,
+		BusyWorkers:         busy,
+		WorkerUtilization:   float64(busy) / float64(s.cfg.Workers),
+		CheckpointsWritten:  s.ctr.checkpointsWritten.Load(),
+		JobsResumed:         s.ctr.jobsResumed.Load(),
+		CheckpointsExported: s.ctr.checkpointsExported.Load(),
+		JobsImported:        s.ctr.jobsImported.Load(),
+		SchemeLatencies:     s.latencies.snapshot(),
 	})
 }
 

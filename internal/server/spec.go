@@ -222,6 +222,14 @@ func CacheKey(canonical JobSpec) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// BuiltinDomains names the domains a stock simdserve node serves.  The
+// fleet coordinator (internal/cluster) canonicalizes incoming specs
+// against this set before routing, so a bad spec is rejected at the
+// front door instead of bouncing off every node.
+func BuiltinDomains() []string {
+	return []string{"puzzle", "queens", "synthetic"}
+}
+
 func domainList(domains map[string]bool) string {
 	names := make([]string, 0, len(domains))
 	for d := range domains {

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -137,22 +136,12 @@ func (sp *spool) rescan(domains map[string]bool) []spooledJob {
 func (s *Server) resumeSpooled() {
 	for _, sj := range s.spool.rescan(s.domains) {
 		id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
-		runCtx, cancel := context.WithCancelCause(s.rootCtx)
-		j := &job{
-			id:        id,
-			spec:      sj.spec,
-			key:       sj.key,
-			runCtx:    runCtx,
-			cancel:    cancel,
-			status:    StatusQueued,
-			submitted: time.Now(),
-			done:      make(chan struct{}),
-			resume:    sj.data,
-		}
+		j := newJob(s, id, sj.spec, sj.key, time.Now())
+		j.resume = sj.data
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
-			cancel(errShutdown)
+			j.cancel(errShutdown)
 			return
 		}
 		select {
@@ -160,7 +149,7 @@ func (s *Server) resumeSpooled() {
 			s.mu.Unlock()
 		default:
 			s.mu.Unlock()
-			cancel(errShutdown)
+			j.cancel(errShutdown)
 			continue
 		}
 		s.ctr.jobsQueued.Add(1)

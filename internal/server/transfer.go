@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"simdtree/internal/checkpoint"
+)
+
+// Checkpoint transfer endpoints.  A fleet coordinator (internal/cluster)
+// keeps a warm copy of every running job's latest spooled checkpoint by
+// polling the export endpoint, and on node death ships that copy to a
+// survivor through the import endpoint.  Both speak the raw SCKP bytes
+// the spool holds on disk (checkpoint.ContentType), so a transferred
+// checkpoint is validated by exactly the rules a spool rescan applies:
+// CRC-clean, spec embedded in Meta.Extra, cache key recomputed from the
+// canonical spec — never trusted from the wire.
+
+// handleExportCheckpoint implements GET /v1/jobs/{id}/checkpoint: the
+// raw bytes of the job's latest spooled checkpoint.  404 while no
+// checkpoint exists (not started, first cadence tick not reached, or
+// already finished and cleaned); 409 when the server runs without a
+// spool.
+func (s *Server) handleExportCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	if s.spool == nil {
+		writeError(w, http.StatusConflict, "server runs without a checkpoint spool")
+		return
+	}
+	b, err := os.ReadFile(s.spool.path(j.key))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no checkpoint spooled for this job")
+		return
+	}
+	if _, err := checkpoint.Peek(b); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("spooled checkpoint invalid: %v", err))
+		return
+	}
+	s.ctr.checkpointsExported.Add(1)
+	w.Header().Set("Content-Type", checkpoint.ContentType)
+	w.Header().Set("X-Simdtree-Cache-Key", j.key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b) //lint:allow errdrop response writer errors are unreportable
+}
+
+// handleImport implements POST /v1/jobs/import: body is one SCKP frame.
+// The job spec is recovered from the checkpoint's Meta.Extra and
+// canonicalized exactly like a fresh submission, so the job resumes
+// under the same cache key it carried on the dead node and — by the
+// determinism contract — completes to the byte-identical result.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	body, meta, err := checkpoint.ReadFrame(http.MaxBytesReader(w, r.Body, checkpoint.MaxFrameSize))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad checkpoint frame: %v", err))
+		return
+	}
+	var spec JobSpec
+	if len(meta.Extra) == 0 || json.Unmarshal(meta.Extra, &spec) != nil {
+		writeError(w, http.StatusBadRequest, "checkpoint carries no job spec in its meta block")
+		return
+	}
+	canonical, err := Canonicalize(spec, s.domains)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("embedded job spec: %v", err))
+		return
+	}
+	key := CacheKey(canonical)
+
+	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
+	now := time.Now()
+	j := newJob(s, id, canonical, key, now)
+	j.resume = body
+
+	// The completed result may already be cached here (the job finished
+	// elsewhere, or an identical spec ran locally); serve it instead of
+	// re-simulating the tail.
+	if s.finishFromCache(j, now) {
+		writeJSON(w, http.StatusOK, renderJob(j.view()))
+		return
+	}
+
+	// Persist the imported checkpoint before accepting the job, so a
+	// crash of *this* node between import and the first periodic
+	// checkpoint still leaves the work recoverable.
+	if s.spool != nil {
+		if err := s.spool.write(key, body); err != nil {
+			j.cancel(errCancelRequested)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("spool imported checkpoint: %v", err))
+			return
+		}
+	}
+	if code, msg := s.enqueue(j); code != 0 {
+		writeError(w, code, msg)
+		return
+	}
+	s.ctr.jobsImported.Add(1)
+	writeJSON(w, http.StatusAccepted, renderJob(j.view()))
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Launch a local fleet: three simdserve nodes with checkpoint spools,
+# fronted by one simdfleet coordinator.  Ctrl-C tears everything down.
+# Used by `make fleet`; the CI smoke test drives the same topology.
+set -eu
+
+BIN=${BIN:-./bin}
+BASE=${FLEET_DIR:-/tmp/simdfleet-local}
+COORD_ADDR=${COORD_ADDR:-127.0.0.1:18080}
+NODE_PORTS="18081 18082 18083"
+
+mkdir -p "$BASE"
+PIDS=""
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup INT TERM EXIT
+
+NODES=""
+for port in $NODE_PORTS; do
+    mkdir -p "$BASE/n$port"
+    "$BIN/simdserve" -addr "127.0.0.1:$port" -spool "$BASE/n$port" -checkpoint-every 200 &
+    PIDS="$PIDS $!"
+    NODES="$NODES,http://127.0.0.1:$port"
+done
+NODES=${NODES#,}
+
+# Wait for every node to answer before starting the coordinator.
+for port in $NODE_PORTS; do
+    i=0
+    until curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] && { echo "node on :$port never came up" >&2; exit 1; }
+        sleep 0.2
+    done
+done
+
+echo "fleet: 3 nodes up ($NODES); coordinator on $COORD_ADDR"
+"$BIN/simdfleet" -addr "$COORD_ADDR" -nodes "$NODES" -probe 1s -sync 1s &
+PIDS="$PIDS $!"
+
+wait
