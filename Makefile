@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint fmt serve fleet experiments-quick experiments-full report clean
+.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint lint-hotpath fmt serve fleet experiments-quick experiments-full report clean
 
 all: build lint test
 
@@ -49,10 +49,18 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis: determinism (detrand, maporder),
-# float equality, dropped errors, and sync misuse.
-lint: vet
+# Repo-specific static analysis: determinism (detrand, maporder), float
+# equality, dropped errors, sync misuse, pool reset, and the cross-package
+# suite (hotalloc, ctxflow, lockorder, atomicmix).
+lint: vet lint-hotpath
 	$(GO) run ./cmd/simdlint ./...
+
+# Fail when the //lint:hotpath root inventory drifts from the committed
+# list, so a root cannot silently lose its annotation (and with it the
+# zero-alloc coverage of everything it reaches).
+lint-hotpath:
+	$(GO) run ./cmd/simdlint -hotpath | diff -u docs/hotpath_roots.txt - \
+		|| { echo "hotpath roots changed; review and update docs/hotpath_roots.txt" >&2; exit 1; }
 
 fmt:
 	gofmt -l -w .

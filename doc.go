@@ -60,6 +60,7 @@ func RunContext[S any](ctx context.Context, d search.Domain[S], label string, op
 // Deprecated: use RunContext, which supports cancellation and deadlines;
 // Run is equivalent to RunContext with context.Background().
 func Run[S any](d search.Domain[S], label string, opts Options) (Stats, error) {
+	//lint:allow ctxflow deprecated context-free wrapper kept for API compatibility
 	return RunContext[S](context.Background(), d, label, opts)
 }
 
@@ -103,6 +104,7 @@ func SearchPuzzleContext(ctx context.Context, seed uint64, steps int, label stri
 //
 // Deprecated: use SearchPuzzleContext.
 func SearchPuzzle(seed uint64, steps int, label string, opts Options) (Stats, int64, error) {
+	//lint:allow ctxflow deprecated context-free wrapper kept for API compatibility
 	return SearchPuzzleContext(context.Background(), seed, steps, label, opts)
 }
 
@@ -117,5 +119,6 @@ func SearchSyntheticContext(ctx context.Context, w int64, seed uint64, label str
 //
 // Deprecated: use SearchSyntheticContext.
 func SearchSynthetic(w int64, seed uint64, label string, opts Options) (Stats, error) {
+	//lint:allow ctxflow deprecated context-free wrapper kept for API compatibility
 	return SearchSyntheticContext(context.Background(), w, seed, label, opts)
 }

@@ -150,6 +150,7 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, u := range order {
 		nodes[u] = newNode(u)
 	}
+	//lint:allow ctxflow coordinator-lifetime root context, cancelled by Stop
 	loopCtx, loopStop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:      cfg,

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// AtomicMix flags fields and variables that are accessed both through the
+// old-style sync/atomic functions (atomic.AddInt64(&x.f, ...) and
+// friends) and through plain reads or writes anywhere else in the module.
+// Mixing the two races: the plain access is invisible to the atomic one.
+// The typed atomic.Int64-style wrappers are immune by construction (the
+// value is unexported inside the wrapper) and are the recommended fix.
+//
+// The analysis is cross-package by way of the facts store: phase one
+// collects every object that appears as the pointer argument of a
+// sync/atomic call in any package, phase two finds plain uses of those
+// objects module-wide.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "object accessed both through sync/atomic and with plain reads/writes",
+	RunModule: func(p *ModulePass) {
+		am := &atomicMixState{
+			p:      p,
+			exempt: map[ast.Expr]bool{},
+		}
+		for _, fn := range p.Graph.Sorted {
+			am.collectAtomicSites(fn)
+		}
+		if am.sites == 0 {
+			return
+		}
+		for _, fn := range p.Graph.Sorted {
+			am.flagPlainUses(fn)
+		}
+	},
+}
+
+// atomicFact is the facts-store key under which phase one publishes each
+// atomically accessed object's first atomic site (a token.Pos).
+const atomicFact = "atomic-site"
+
+type atomicMixState struct {
+	p *ModulePass
+	// sites counts the objects published to the facts store.
+	sites int
+	// exempt marks the operand expressions inside &x passed to atomic
+	// calls, which must not double as plain-use findings.
+	exempt map[ast.Expr]bool
+}
+
+// collectAtomicSites records objects passed by address to sync/atomic
+// functions in fn.
+func (am *atomicMixState) collectAtomicSites(fn *Function) {
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicPkgCall(info, call) || len(call.Args) == 0 {
+			return true
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		operand := ast.Unparen(addr.X)
+		obj := accessObj(info, operand)
+		if obj == nil {
+			return true
+		}
+		am.exempt[operand] = true
+		if _, seen := am.p.Facts.Get(obj, atomicFact); !seen {
+			am.p.Facts.Set(obj, atomicFact, call.Pos())
+			am.sites++
+		}
+		return true
+	})
+}
+
+// flagPlainUses reports every non-atomic use in fn of an object that is
+// atomically accessed somewhere in the module.
+func (am *atomicMixState) flagPlainUses(fn *Function) {
+	info := fn.Pkg.Info
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var found []finding
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if am.exempt[e] {
+			return true
+		}
+		obj := accessObj(info, e)
+		if obj == nil {
+			return true
+		}
+		if _, isAtomic := am.p.Facts.Get(obj, atomicFact); !isAtomic {
+			return true
+		}
+		found = append(found, finding{pos: e.Pos(), obj: obj})
+		return false // the inner Ident of a SelectorExpr is the same use
+	})
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, f := range found {
+		site, _ := am.p.Facts.Get(f.obj, atomicFact)
+		atomicPos := am.p.Fset.Position(site.(token.Pos))
+		am.p.Reportf(f.pos,
+			"%q is accessed atomically (e.g. %s:%d) but read/written plainly here; use the atomic.Int64-style typed wrappers",
+			f.obj.Name(), filepath.Base(atomicPos.Filename), atomicPos.Line)
+	}
+}
+
+// isAtomicPkgCall reports whether call invokes any sync/atomic
+// package-level function.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// accessObj resolves an identifier or field selection to the variable
+// object it denotes; selections resolve to the field, so accesses through
+// different instances of the same struct share an identity.
+func accessObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			// Only package-level variables have a module-wide identity
+			// worth tracking; locals cannot be shared across functions
+			// (closures aside, which the Uses resolution still catches).
+			return v
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}

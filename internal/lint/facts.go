@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The facts store decouples what one analyzer learns about a function from
+// where that knowledge is consumed: local collectors record per-function
+// facts (allocation sites, blocking operations, lock acquisitions, atomic
+// accesses) keyed by the function's types.Object, and the module analyzers
+// read them back while propagating over the call graph — across package
+// boundaries, since every package's objects live in the same store.
+
+// A factKey addresses one named fact about one object.
+type factKey struct {
+	obj  types.Object
+	name string
+}
+
+// Facts is the cross-package fact store shared by the module analyzers of
+// one Run.
+type Facts struct {
+	m map[factKey]any
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: map[factKey]any{}} }
+
+// Set records fact name about obj.
+func (f *Facts) Set(obj types.Object, name string, v any) {
+	f.m[factKey{obj, name}] = v
+}
+
+// Get returns fact name about obj.
+func (f *Facts) Get(obj types.Object, name string) (any, bool) {
+	v, ok := f.m[factKey{obj, name}]
+	return v, ok
+}
+
+// A ModulePass hands the whole package set, the call graph and the fact
+// store to one module-level analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+	Facts    *Facts
+	Fset     *token.FileSet
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// bodyWalk visits the statements of fn's declaration.  enterClosures
+// selects whether function-literal bodies are visited too: facts about
+// what a function itself does when called (blocking) must skip closures,
+// which may run on another goroutine, while facts about the code a
+// function lexically contains (allocations) include them.
+func bodyWalk(fn *Function, enterClosures bool, visit func(ast.Node) bool) {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && !enterClosures {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// acceptsContext reports whether fn takes a context.Context parameter.
+func acceptsContext(fn *Function) bool {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall reports whether call names pkgPath.name, resolved through
+// the type info (not import aliases).
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// methodOn reports whether call invokes method name on a value of the
+// named type pkgPath.typeName (possibly behind a pointer).
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the zero-allocation contract of the engine's hot path.
+// A function marked with a //lint:hotpath directive is a root: the
+// expansion cycle, the load-balancing phase, the scan *Into variants, the
+// stack transfer operations and the matcher arenas.  The analyzer walks
+// everything statically reachable from the roots over the module call
+// graph (interface calls devirtualised to every module implementation) and
+// flags each construct that can allocate, with the call chain from the
+// nearest root in the diagnostic so the finding is explainable without
+// rerunning the analysis.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation in a function reachable from a //lint:hotpath root",
+	RunModule: func(p *ModulePass) {
+		parent := p.Graph.ReachableFromHot()
+		if len(parent) == 0 {
+			return
+		}
+		for _, fn := range p.Graph.Sorted {
+			if _, hot := parent[fn]; !hot {
+				continue
+			}
+			trace := HotTrace(parent, fn)
+			checkHotFunction(p, fn, trace)
+		}
+	},
+}
+
+// checkHotFunction reports every potentially allocating construct in fn's
+// body (function literals included — code lexically inside a hot function
+// runs on the hot path through the worker pool).
+func checkHotFunction(p *ModulePass, fn *Function, trace string) {
+	info := fn.Pkg.Info
+	flag := func(pos token.Pos, what string) {
+		p.Reportf(pos, "%s on the hot path (%s)", what, trace)
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, info, n, flag)
+		case *ast.CompositeLit:
+			checkHotCompositeLit(info, n, flag)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flag(lit.Pos(), "composite literal escapes through &")
+				}
+			}
+		case *ast.FuncLit:
+			flag(n.Pos(), "function literal allocates a closure")
+		case *ast.GoStmt:
+			flag(n.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) && !isConstExpr(info, n) {
+				flag(n.OpPos, "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags the allocating call shapes: the allocating builtins,
+// allocating string/byte conversions, interface boxing of concrete
+// arguments, and variadic calls that materialise their argument slice.
+func checkHotCall(p *ModulePass, info *types.Info, call *ast.CallExpr, flag func(token.Pos, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				flag(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune copy their contents.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if src != nil && isStringByteConversion(dst, src) && !isConstExpr(info, call.Args[0]) {
+			flag(call.Pos(), "string conversion allocates")
+		}
+		return
+	}
+	sig, ok := typeOfCallFun(info, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through
+			}
+			if slice, isSlice := params.At(params.Len() - 1).Type().(*types.Slice); isSlice {
+				paramT = slice.Elem()
+				if i == params.Len()-1 {
+					flag(arg.Pos(), "variadic call allocates its argument slice")
+				}
+			}
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		}
+		if paramT == nil || !types.IsInterface(paramT) || hasTypeParams(paramT, 0) {
+			continue
+		}
+		argT := info.TypeOf(arg)
+		if argT == nil || types.IsInterface(argT) || isConstExpr(info, arg) || isNilExpr(info, arg) {
+			continue
+		}
+		if _, isTP := argT.(*types.TypeParam); isTP {
+			continue
+		}
+		flag(arg.Pos(), "interface boxing of "+types.TypeString(argT, types.RelativeTo(nil))+" at call site")
+	}
+}
+
+// checkHotCompositeLit flags composite literals of reference kinds, whose
+// backing storage is heap-allocated; plain struct and array values stay on
+// the stack and escape only through & (handled at the UnaryExpr).
+func checkHotCompositeLit(info *types.Info, lit *ast.CompositeLit, flag func(token.Pos, string)) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		flag(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		flag(lit.Pos(), "map literal allocates")
+	}
+}
+
+// typeOfCallFun returns the signature a call invokes, following function
+// values as well as named functions and methods.
+func typeOfCallFun(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// isStringByteConversion reports whether converting src to dst copies
+// string contents ([]byte <-> string, []rune <-> string).
+func isStringByteConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isStringType(t)
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

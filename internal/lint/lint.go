@@ -8,7 +8,7 @@
 // and go/types (the repository deliberately has no external dependencies,
 // so golang.org/x/tools is off limits).
 //
-// The suite:
+// The per-package suite:
 //
 //   - detrand: wall-clock reads and process-global randomness inside the
 //     deterministic packages.
@@ -21,17 +21,37 @@
 //   - poolreset: sync.Pool.Put of an object that shows no reset before
 //     the Put, which would leak stale state to the next Get.
 //
+// The module suite runs over a whole-module call graph (callgraph.go)
+// with interface calls devirtualised and a cross-package facts store
+// (facts.go):
+//
+//   - hotalloc: allocating constructs in any function statically
+//     reachable from a //lint:hotpath root, reported with the call
+//     chain from the root.
+//   - ctxflow: exported blocking functions of the engine and service
+//     packages without a context.Context, and root contexts minted in
+//     library code.
+//   - lockorder: mutex pairs acquired in inconsistent orders anywhere
+//     in the module, including orders induced through callees.
+//   - atomicmix: objects accessed both through sync/atomic and with
+//     plain reads or writes.
+//
 // A finding is suppressed by a line comment of the form
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the same line as the finding or on the line directly above it.  The
-// reason is mandatory: a directive without one is itself reported, and the
-// underlying finding is kept.
+// on the same line as the finding, on the line directly above it, or on
+// the line directly above the start of the (possibly multi-line)
+// statement containing it.  The reason is mandatory: a directive without
+// one is itself reported, and the underlying finding is kept.
+//
+// Diagnostics are emitted sorted by file, line, column and analyzer, so
+// two runs over the same tree render byte-identical reports.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"path"
 	"sort"
@@ -49,11 +69,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// An Analyzer is one named check run over every loaded package.
+// An Analyzer is one named check.  Per-package analyzers set Run and are
+// handed one package at a time; module analyzers set RunModule instead and
+// see the whole package set at once, together with the cross-package call
+// graph and fact store (see callgraph.go and facts.go).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // A Pass hands one package to one analyzer and collects its reports.
@@ -91,21 +115,49 @@ func deterministic(pkg *Package) bool {
 	return deterministicPkgs[path.Base(pkg.Path)]
 }
 
-// Analyzers returns the full suite in a fixed order.
+// Analyzers returns the full suite in a fixed order: the six per-package
+// analyzers followed by the four cross-package (call-graph) ones.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, FloatEq, ErrDrop, SyncMisuse, PoolReset}
+	return []*Analyzer{
+		DetRand, MapOrder, FloatEq, ErrDrop, SyncMisuse, PoolReset,
+		HotAlloc, CtxFlow, LockOrder, AtomicMix,
+	}
 }
 
 // Run applies analyzers to pkgs, resolves //lint:allow suppressions, and
-// returns the surviving diagnostics sorted by position.
+// returns the surviving diagnostics sorted by position.  Module analyzers
+// share one call graph and fact store, built once per Run.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	var graph *CallGraph
+	var facts *Facts
+	for _, a := range analyzers {
+		if a.RunModule == nil || len(pkgs) == 0 {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+			facts = NewFacts()
+		}
+		a.RunModule(&ModulePass{
+			Analyzer: a,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			Facts:    facts,
+			Fset:     graph.Fset,
+			report:   report,
+		})
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				report:   report,
 			}
 			a.Run(pass)
 		}
@@ -116,9 +168,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	}
 	dirs, dirDiags := directives(pkgs, known)
 	diags = append(diags, dirDiags...)
+	spans := stmtSpans(pkgs)
 	var kept []Diagnostic
 	for _, d := range diags {
-		if !suppressed(d, dirs) {
+		if !suppressed(d, dirs, spans) {
 			kept = append(kept, d)
 		}
 	}
@@ -191,16 +244,74 @@ func directives(pkgs []*Package, known map[string]bool) ([]directive, []Diagnost
 	return dirs, diags
 }
 
-// suppressed reports whether a well-formed directive on the same line as d
-// or on the line directly above covers it.  Directive diagnostics are
-// never suppressible.
-func suppressed(d Diagnostic, dirs []directive) bool {
+// stmtSpan is the line extent of one statement (or declaration) of one
+// file, used to anchor suppression directives to whole statements.
+type stmtSpan struct {
+	start, end int
+}
+
+// stmtSpans indexes, per file, the line extents of every statement and
+// top-level non-function declaration.  A finding on any line of a
+// multi-line statement is then suppressible by a directive above the
+// statement's first line, not just above the finding's own line — a
+// wrapped call would otherwise be impossible to annotate.
+func stmtSpans(pkgs []*Package) map[string][]stmtSpan {
+	spans := map[string][]stmtSpan{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.GenDecl:
+				default:
+					if _, ok := n.(ast.Stmt); !ok {
+						return true
+					}
+				}
+				start := pkg.Fset.Position(n.Pos()).Line
+				end := pkg.Fset.Position(n.End()).Line
+				if end > start {
+					spans[name] = append(spans[name], stmtSpan{start: start, end: end})
+				}
+				return true
+			})
+		}
+	}
+	return spans
+}
+
+// anchorLine returns the first line of the innermost multi-line statement
+// covering line in file, or line itself when no statement does.
+func anchorLine(spans map[string][]stmtSpan, file string, line int) int {
+	anchor := line
+	bestStart, bestEnd := -1, int(^uint(0)>>1)
+	for _, s := range spans[file] {
+		if s.start > line || line > s.end {
+			continue
+		}
+		if s.start > bestStart || (s.start == bestStart && s.end < bestEnd) {
+			bestStart, bestEnd = s.start, s.end
+			anchor = s.start
+		}
+	}
+	return anchor
+}
+
+// suppressed reports whether a well-formed directive covers d: on the same
+// line, on the line directly above, or on the line directly above the
+// innermost multi-line statement containing the finding.  Directive
+// diagnostics are never suppressible.
+func suppressed(d Diagnostic, dirs []directive, spans map[string][]stmtSpan) bool {
 	if d.Analyzer == "directive" {
 		return false
 	}
+	anchor := anchorLine(spans, d.Pos.Filename, d.Pos.Line)
 	for _, dir := range dirs {
-		if dir.analyzer == d.Analyzer && dir.file == d.Pos.Filename &&
-			(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
+		if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 ||
+			dir.line == anchor || dir.line == anchor-1 {
 			return true
 		}
 	}

@@ -160,6 +160,89 @@ func TestAllowDirectives(t *testing.T) {
 	}
 }
 
+// TestDeterministicOutput pins the reporting contract: diagnostics come
+// out sorted by file, line, column and analyzer, and two runs over the
+// same tree produce byte-identical reports — CI diffs and the golden
+// corpus depend on it.
+func TestDeterministicOutput(t *testing.T) {
+	render := func() []string {
+		pkgs, err := Load("testdata/src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, d := range Run(pkgs, Analyzers()) {
+			out = append(out, d.String())
+		}
+		return out
+	}
+	first := render()
+	if len(first) == 0 {
+		t.Fatal("corpus produced no diagnostics")
+	}
+	pkgs, err := Load("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && (a.Pos.Line > b.Pos.Line ||
+				(a.Pos.Line == b.Pos.Line && (a.Pos.Column > b.Pos.Column ||
+					(a.Pos.Column == b.Pos.Column && a.Analyzer > b.Analyzer))))) {
+			t.Errorf("diagnostics out of order at %d:\n\t%s\n\t%s", i, a, b)
+		}
+	}
+	second := make([]string, len(diags))
+	for i, d := range diags {
+		second[i] = d.String()
+	}
+	if strings.Join(first, "\n") != strings.Join(second, "\n") {
+		t.Errorf("two runs differ:\nfirst:\n%s\nsecond:\n%s",
+			strings.Join(first, "\n"), strings.Join(second, "\n"))
+	}
+}
+
+// TestLoadErrors checks that broken trees fail with the offending
+// package named, which the driver surfaces verbatim before exiting 2.
+func TestLoadErrors(t *testing.T) {
+	t.Run("parse", func(t *testing.T) {
+		dir := t.TempDir()
+		sub := filepath.Join(dir, "broken")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "broken.go"), []byte("package broken\nfunc {"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(dir)
+		if err == nil {
+			t.Fatal("Load succeeded on a tree with a parse error")
+		}
+		if !strings.Contains(err.Error(), "parse errors in package broken") {
+			t.Errorf("parse error does not name the package: %v", err)
+		}
+	})
+	t.Run("type", func(t *testing.T) {
+		dir := t.TempDir()
+		sub := filepath.Join(dir, "untyped")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "untyped.go"), []byte("package untyped\n\nvar x = undefinedIdent\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(dir)
+		if err == nil {
+			t.Fatal("Load succeeded on a tree with a type error")
+		}
+		if !strings.Contains(err.Error(), "type errors in fixture/untyped") {
+			t.Errorf("type error does not name the package: %v", err)
+		}
+	})
+}
+
 // TestRepoClean is the invariant the linter exists to protect: the real
 // codebase must load and pass the full suite with zero unsuppressed
 // findings.

@@ -195,7 +195,11 @@ func parseDir(root, modPath, dir string) (*Package, error) {
 		full := filepath.Join(dir, name)
 		f, err := parser.ParseFile(sharedFset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %v", err)
+			rel := dir
+			if r, rerr := filepath.Rel(root, dir); rerr == nil {
+				rel = r
+			}
+			return nil, fmt.Errorf("lint: parse errors in package %s:\n\t%v", rel, err)
 		}
 		files = append(files, f)
 	}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// LockOrder detects lock-ordering inconsistencies across the whole module:
+// it records, per function, the order in which mutexes are acquired
+// (textually, with defer-unlocks holding to the end of the function) and
+// propagates the may-acquire set over the call graph, so a function that
+// calls into another package while holding a lock contributes cross-
+// package pairs — the server job map versus the cluster ring state being
+// the motivating risk.  Two locks acquired in both orders anywhere in the
+// module are reported once, at the earlier witness, with both positions.
+//
+// Locks are identified by their declaring object (a struct field or a
+// variable), so the ordering discipline is enforced per lock declaration,
+// not per instance.  Function literals are analysed as their own acquire
+// contexts: a closure's acquisitions count toward the enclosing function's
+// may-acquire set, but the closure does not inherit the enclosing held
+// set, since it may run on another goroutine after the caller unlocked.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutexes acquired in inconsistent orders across the call graph",
+	RunModule: func(p *ModulePass) {
+		lo := &lockOrderState{
+			p:        p,
+			acquires: map[*Function]map[types.Object]bool{},
+			orders:   map[[2]types.Object]*lockWitness{},
+		}
+		for _, fn := range p.Graph.Sorted {
+			lo.collectAcquires(fn)
+		}
+		lo.propagate()
+		// Publish the closed may-acquire sets as facts keyed by the
+		// function object, where collectPairs (and any future analyzer)
+		// reads them back across package boundaries.
+		for fn, set := range lo.acquires {
+			if len(set) > 0 {
+				p.Facts.Set(fn.Obj, acquiresFact, set)
+			}
+		}
+		for _, fn := range p.Graph.Sorted {
+			lo.collectPairs(fn)
+		}
+		lo.reportConflicts()
+	},
+}
+
+// acquiresFact is the facts-store key under which each function's
+// transitively closed may-acquire set (a map[types.Object]bool) is
+// published.
+const acquiresFact = "may-acquire"
+
+// lockWitness is the first observed site of one ordered acquisition pair.
+type lockWitness struct {
+	pos token.Pos
+	via string // non-empty when the second lock is taken through a callee
+}
+
+type lockOrderState struct {
+	p *ModulePass
+	// acquires is the may-acquire set per function, transitively closed
+	// over the call graph by propagate.
+	acquires map[*Function]map[types.Object]bool
+	// orders maps an ordered pair (held, acquired) to its first witness;
+	// orderKeys preserves insertion order for deterministic reporting.
+	orders    map[[2]types.Object]*lockWitness
+	orderKeys [][2]types.Object
+}
+
+// lockCallKind classifies call as a mutex acquire or release.
+func lockCallKind(info *types.Info, call *ast.CallExpr) (acquire, release bool) {
+	switch {
+	case methodOn(info, call, "sync", "Mutex", "Lock"),
+		methodOn(info, call, "sync", "RWMutex", "Lock"),
+		methodOn(info, call, "sync", "RWMutex", "RLock"):
+		return true, false
+	case methodOn(info, call, "sync", "Mutex", "Unlock"),
+		methodOn(info, call, "sync", "RWMutex", "Unlock"),
+		methodOn(info, call, "sync", "RWMutex", "RUnlock"):
+		return false, true
+	}
+	return false, false
+}
+
+// lockObj resolves the declared object (field or variable) a mutex method
+// is invoked on, the identity lock ordering is tracked by.
+func lockObj(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return lockRecvObj(info, sel.X)
+}
+
+func lockRecvObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			return s.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return lockRecvObj(info, e.X)
+	case *ast.StarExpr:
+		return lockRecvObj(info, e.X)
+	}
+	return nil
+}
+
+// lockName renders a lock object with its declaration site, which
+// disambiguates the many fields named "mu".
+func (lo *lockOrderState) lockName(obj types.Object) string {
+	pos := lo.p.Fset.Position(obj.Pos())
+	return fmt.Sprintf("%q (%s:%d)", obj.Name(), filepath.Base(pos.Filename), pos.Line)
+}
+
+// contexts returns fn's acquire contexts: the main body plus every
+// function literal body, each walked without descending into nested
+// literals.
+func contexts(fn *Function) []ast.Node {
+	out := []ast.Node{fn.Decl.Body}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// walkContext visits ctx's nodes in source order without entering nested
+// function literals.
+func walkContext(ctx ast.Node, visit func(ast.Node) bool) {
+	first := true
+	ast.Inspect(ctx, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if first {
+			first = false
+			return visit(n)
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// collectAcquires records fn's directly acquired locks (all contexts).
+func (lo *lockOrderState) collectAcquires(fn *Function) {
+	info := fn.Pkg.Info
+	set := map[types.Object]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if acquire, _ := lockCallKind(info, call); acquire {
+			if obj := lockObj(info, call); obj != nil {
+				set[obj] = true
+			}
+		}
+		return true
+	})
+	lo.acquires[fn] = set
+}
+
+// propagate closes the may-acquire sets over the call graph to a fixpoint.
+func (lo *lockOrderState) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range lo.p.Graph.Sorted {
+			set := lo.acquires[fn]
+			for _, e := range fn.Calls {
+				for obj := range lo.acquires[e.Callee] {
+					if !set[obj] {
+						set[obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// record notes an ordered acquisition (held, then acquired) at pos.
+func (lo *lockOrderState) record(held, acquired types.Object, pos token.Pos, via string) {
+	if held == acquired {
+		return
+	}
+	key := [2]types.Object{held, acquired}
+	if _, seen := lo.orders[key]; seen {
+		return
+	}
+	lo.orders[key] = &lockWitness{pos: pos, via: via}
+	lo.orderKeys = append(lo.orderKeys, key)
+}
+
+// collectPairs simulates fn's contexts textually, tracking the held set
+// and recording ordered pairs, including those induced by calling a
+// function whose may-acquire set is non-empty while holding a lock.
+func (lo *lockOrderState) collectPairs(fn *Function) {
+	info := fn.Pkg.Info
+	for _, ctx := range contexts(fn) {
+		var held []types.Object
+		walkContext(ctx, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred unlock keeps the lock held to the end of the
+				// context; a deferred module call still contributes pairs.
+				if _, release := lockCallKind(info, n.Call); release {
+					return false
+				}
+				return true
+			case *ast.CallExpr:
+				acquire, release := lockCallKind(info, n)
+				switch {
+				case acquire:
+					obj := lockObj(info, n)
+					if obj == nil {
+						return true
+					}
+					for _, h := range held {
+						lo.record(h, obj, n.Pos(), "")
+					}
+					held = append(held, obj)
+				case release:
+					obj := lockObj(info, n)
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == obj {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				default:
+					if len(held) == 0 {
+						return true
+					}
+					for _, e := range fn.Calls {
+						if e.Site != n.Lparen {
+							continue
+						}
+						callees := lo.sortedAcquires(e.Callee)
+						for _, obj := range callees {
+							for _, h := range held {
+								lo.record(h, obj, n.Pos(), " via call to "+e.Callee.DisplayName())
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sortedAcquires returns callee's may-acquire set in deterministic
+// (declaration position) order.
+func (lo *lockOrderState) sortedAcquires(callee *Function) []types.Object {
+	v, ok := lo.p.Facts.Get(callee.Obj, acquiresFact)
+	if !ok {
+		return nil
+	}
+	set := v.(map[types.Object]bool)
+	objs := make([]types.Object, 0, len(set))
+	for obj := range set {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	return objs
+}
+
+// reportConflicts emits one diagnostic per lock pair seen in both orders,
+// at the earlier witness.
+func (lo *lockOrderState) reportConflicts() {
+	reported := map[[2]types.Object]bool{}
+	for _, key := range lo.orderKeys {
+		rev := [2]types.Object{key[1], key[0]}
+		if reported[key] || reported[rev] {
+			continue
+		}
+		w, wRev := lo.orders[key], lo.orders[rev]
+		if wRev == nil {
+			continue
+		}
+		reported[key], reported[rev] = true, true
+		first := key
+		a, b := w, wRev
+		if posLess(lo.p.Fset.Position(wRev.pos), lo.p.Fset.Position(w.pos)) {
+			first = rev
+			a, b = wRev, w
+		}
+		otherPos := lo.p.Fset.Position(b.pos)
+		lo.p.Reportf(a.pos,
+			"lock order inconsistency: %s acquired while holding %s%s, but the opposite order occurs at %s:%d%s",
+			lo.lockName(first[1]), lo.lockName(first[0]), a.via,
+			filepath.Base(otherPos.Filename), otherPos.Line, b.via)
+	}
+}
+
+// posLess orders two positions by (filename, offset).
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	return a.Offset < b.Offset
+}

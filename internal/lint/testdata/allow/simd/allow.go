@@ -18,6 +18,17 @@ func Above() time.Time {
 	return time.Now()
 }
 
+// Wrapped demonstrates the multi-line form: the directive sits above a
+// statement that spans several lines, and suppresses a finding on any of
+// them, not just the first.
+func Wrapped() []time.Time {
+	//lint:allow detrand the directive anchors to the statement start, later lines included
+	stamps := []time.Time{
+		time.Now(),
+	}
+	return stamps
+}
+
 // Bad has a directive without a reason: the directive itself is reported
 // and the underlying finding survives.
 func Bad() time.Time {

@@ -1,0 +1,35 @@
+// Package atomicmix exercises the atomic-mixing analyzer: fields updated
+// through sync/atomic in one function and read or written plainly in
+// another race, because the plain access is invisible to the atomic one.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+var c counter
+
+// Incr updates both fields atomically, as every access should.
+func Incr() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Snapshot reads hits plainly, racing with Incr.
+func Snapshot() int64 {
+	return c.hits // want "atomicmix: \"hits\" is accessed atomically"
+}
+
+// Reset writes both fields plainly.
+func Reset() {
+	c.hits = 0  // want "atomicmix: \"hits\" is accessed atomically"
+	c.total = 0 // want "atomicmix: \"total\" is accessed atomically"
+}
+
+// Loaded is the compliant form: the same field, read atomically.
+func Loaded() int64 {
+	return atomic.LoadInt64(&c.hits)
+}

@@ -1,0 +1,19 @@
+// Package dep is the callee side of the cross-package hot-path fixture:
+// the root in the parent package reaches these functions through the
+// module call graph and through interface devirtualisation, so their
+// findings carry cross-package traces.
+package dep
+
+// Grow is reached from the hotalloc root across the package boundary.
+func Grow(xs []int) []int {
+	return append(xs, 1) // want "hotalloc: append may grow its backing array"
+}
+
+// Widget implements the parent package's Expander interface; the
+// interface call in the root devirtualises to this method.
+type Widget struct{ buf []int }
+
+// Expand allocates a fresh buffer every call.
+func (w *Widget) Expand(n int) {
+	w.buf = make([]int, n) // want "hotalloc: make allocates"
+}

@@ -1,0 +1,84 @@
+// Package hotalloc exercises the hot-path allocation analyzer: Cycle is
+// a //lint:hotpath root, and everything statically reachable from it —
+// in this package, in the dep subpackage, and behind the Expander
+// interface — must be allocation-free.
+package hotalloc
+
+import "fixture/hotalloc/dep"
+
+// Expander is the domain-style interface of the fixture; the call through
+// it in Cycle devirtualises to dep.Widget, whose allocation is reported
+// with the cross-package trace.
+type Expander interface{ Expand(int) }
+
+// scratch mimics the engine's reused buffers.
+var scratch []int
+
+// Cycle is the fixture's expansion-cycle root.
+//
+//lint:hotpath
+func Cycle(e Expander, n int) {
+	scratch = dep.Grow(scratch)
+	e.Expand(n)
+	helper(n)
+}
+
+// PrefixSumInto mirrors internal/scan's contract: an Into variant that
+// deliberately appends instead of writing in place — the regression the
+// hot-path gate exists to catch.
+//
+//lint:hotpath
+func PrefixSumInto(dst, src []int) []int {
+	run := 0
+	for _, v := range src {
+		run += v
+		dst = append(dst, run) // want "hotalloc: append may grow its backing array"
+	}
+	return dst
+}
+
+// helper is reachable from Cycle and demonstrates every allocating shape
+// the analyzer recognises.
+func helper(n int) {
+	s := make([]int, n)    // want "hotalloc: make allocates"
+	p := new(int)          // want "hotalloc: new allocates"
+	s = append(s, *p)      // want "hotalloc: append may grow its backing array"
+	l := []int{n}          // want "hotalloc: slice literal allocates"
+	m := map[int]int{n: n} // want "hotalloc: map literal allocates"
+	pt := &point{x: n}     // want "hotalloc: composite literal escapes through &"
+	f := func() {}         // want "hotalloc: function literal allocates a closure"
+	go f()                 // want "hotalloc: go statement allocates a goroutine"
+	c := "n=" + itoa(n)    // want "hotalloc: string concatenation allocates"
+	b := []byte(c)         // want "hotalloc: string conversion allocates"
+	sink(n)                // want "hotalloc: interface boxing of int at call site"
+	_ = variadicSum(n, n)  // want "hotalloc: variadic call allocates its argument slice"
+	_, _, _, _, _ = s, l, m, pt, b
+}
+
+type point struct{ x int }
+
+func sink(v any) { _ = v }
+
+func variadicSum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// itoa is a minimal conversion that avoids pulling strconv into the
+// fixture; byte-appends into a fixed array do not allocate.
+func itoa(n int) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(buf[i:]) // want "hotalloc: string conversion allocates"
+}

@@ -1,0 +1,46 @@
+// Package lockorder exercises the lock-order analyzer: two mutexes are
+// acquired in both orders — one order directly, the other through a
+// callee while a lock is held, the cross-function case the call-graph
+// propagation exists to catch.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[int]int
+}
+
+type ring struct {
+	mu    sync.RWMutex
+	seats []int
+}
+
+var (
+	reg = &registry{items: map[int]int{}}
+	rng = &ring{}
+)
+
+// Update acquires registry.mu, then ring.mu.
+func Update() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	rng.mu.Lock() // want "lockorder: lock order inconsistency"
+	defer rng.mu.Unlock()
+	reg.items[0] = len(rng.seats)
+}
+
+// Resize acquires ring.mu and then, through register, registry.mu: the
+// opposite order, witnessed via the call graph.
+func Resize(n int) {
+	rng.mu.Lock()
+	defer rng.mu.Unlock()
+	rng.seats = append(rng.seats, n)
+	register(n)
+}
+
+func register(n int) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.items[n] = n
+}

@@ -1,0 +1,68 @@
+// Package server exercises the context-flow analyzer: the exported
+// blocking API of the service packages must accept a context.Context,
+// and library code must not mint root contexts.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Wait blocks on a channel receive with no way to bound the wait.
+func Wait(ch chan int) int { // want "ctxflow: exported server\.Wait blocks"
+	return <-ch
+}
+
+// Broadcast blocks on a channel send.
+func Broadcast(ch chan int, v int) { // want "ctxflow: exported server\.Broadcast blocks"
+	ch <- v
+}
+
+// Drain ranges over a channel, blocking until it closes.
+func Drain(ch chan int) (total int) { // want "ctxflow: exported server\.Drain blocks"
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Join waits on a WaitGroup.
+func Join(wg *sync.WaitGroup) { // want "ctxflow: exported server\.Join blocks"
+	wg.Wait()
+}
+
+// Pause sleeps unconditionally.
+func Pause() { // want "ctxflow: exported server\.Pause blocks"
+	time.Sleep(time.Millisecond)
+}
+
+// WaitCtx is the compliant form of Wait: the same receive, but the
+// select on ctx.Done lets the caller bound it.
+func WaitCtx(ctx context.Context, ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+// Poll is exported and selects, but the default clause makes it
+// non-blocking, so no context is required.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// detach mints a root context in library code, silently detaching the
+// work from the caller's cancellation.
+func detach() context.Context {
+	return context.Background() // want "ctxflow: context\.Background\(\) in library code"
+}
+
+var _ = detach

@@ -30,8 +30,9 @@ func Join(m map[int]string) string {
 	return out
 }
 
-// Publish sends keys in iteration order.
-func Publish(m map[int]int, ch chan<- int) {
+// Publish sends keys in iteration order; the send also makes it an
+// exported blocking function without a context.
+func Publish(m map[int]int, ch chan<- int) { // want "ctxflow: exported simd\.Publish blocks"
 	for k := range m {
 		ch <- k // want "channel send inside map iteration"
 	}

@@ -64,9 +64,13 @@ type arena struct {
 func (a *arena) SetParallelism(workers int) { a.workers = workers }
 
 // grow sizes the rank scratch for an n-processor machine.
+//
+//lint:hotpath
 func (a *arena) grow(n int) {
 	if cap(a.busyRanks) < n {
+		//lint:allow hotalloc rank scratch grows once to P and is reused across phases
 		a.busyRanks = make([]int, n)
+		//lint:allow hotalloc rank scratch grows once to P and is reused across phases
 		a.idleRanks = make([]int, n)
 	}
 	a.busyRanks = a.busyRanks[:n]
@@ -86,6 +90,8 @@ func (*NGP) Name() string { return "nGP" }
 func (*NGP) Reset() {}
 
 // Match implements Matcher.
+//
+//lint:hotpath
 func (g *NGP) Match(busy, idle []bool) []scan.Pair {
 	g.grow(len(busy))
 	scan.EnumerateParallelInto(g.busyRanks, busy, g.workers)
@@ -129,6 +135,8 @@ func (g *GP) SetPointer(p int) {
 // the first busy processor after the global pointer (wrapping around), the
 // idle ones from processor 0, and ranks are matched by rendezvous.  The
 // pointer then advances to the last processor that donated.
+//
+//lint:hotpath
 func (g *GP) Match(busy, idle []bool) []scan.Pair {
 	n := len(busy)
 	if n == 0 {

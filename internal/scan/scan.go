@@ -24,6 +24,8 @@ func PrefixSum(xs []int) []int {
 // PrefixSumInto computes the exclusive prefix sum of xs into out, which
 // must have the same length, and returns the total sum.  It is the
 // allocation-free form of PrefixSum for callers that reuse scratch.
+//
+//lint:hotpath
 func PrefixSumInto(out, xs []int) int {
 	if len(out) != len(xs) {
 		panic("scan: output length mismatch")
@@ -101,6 +103,8 @@ func Enumerate(flags []bool) (ranks []int, count int) {
 
 // EnumerateInto is Enumerate writing into caller-provided ranks (which must
 // have the same length as flags); it returns the count of set flags.
+//
+//lint:hotpath
 func EnumerateInto(ranks []int, flags []bool) (count int) {
 	if len(ranks) != len(flags) {
 		panic("scan: output length mismatch")
@@ -128,6 +132,8 @@ func EnumerateFrom(flags []bool, start int) (ranks []int, count int) {
 
 // EnumerateFromInto is EnumerateFrom writing into caller-provided ranks
 // (same length as flags); it returns the count of set flags.
+//
+//lint:hotpath
 func EnumerateFromInto(ranks []int, flags []bool, start int) (count int) {
 	n := len(flags)
 	if len(ranks) != n {
@@ -177,6 +183,8 @@ func shardBounds(w, workers, n int) (lo, hi int) {
 // over the per-shard counts assigns shard offsets, and the shards fill
 // their ranks in parallel.  The reduction order is fixed by shard index, so
 // the output is bit-identical to the sequential form for any worker count.
+//
+//lint:hotpath
 func EnumerateParallelInto(ranks []int, flags []bool, workers int) (count int) {
 	n := len(flags)
 	if workers <= 1 || n < parallelMin {
@@ -188,10 +196,12 @@ func EnumerateParallelInto(ranks []int, flags []bool, workers int) (count int) {
 	if workers > n {
 		workers = n
 	}
+	//lint:allow hotalloc O(workers) shard counts, engaged only for scans of parallelMin elements or more
 	counts := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded parallel fan-out above parallelMin affects wall-clock only
 		go func(w int) {
 			defer wg.Done()
 			lo, hi := shardBounds(w, workers, n)
@@ -212,6 +222,7 @@ func EnumerateParallelInto(ranks []int, flags []bool, workers int) (count int) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded parallel fan-out above parallelMin affects wall-clock only
 		go func(w int) {
 			defer wg.Done()
 			lo, hi := shardBounds(w, workers, n)
@@ -235,6 +246,8 @@ func EnumerateParallelInto(ranks []int, flags []bool, workers int) (count int) {
 // processor (start+k) mod n) is sharded contiguously, so each shard's
 // offset is again a sequential exclusive scan of per-shard counts and the
 // output is bit-identical to the sequential form.
+//
+//lint:hotpath
 func EnumerateFromParallelInto(ranks []int, flags []bool, start int, workers int) (count int) {
 	n := len(flags)
 	if workers <= 1 || n < parallelMin {
@@ -247,10 +260,12 @@ func EnumerateFromParallelInto(ranks []int, flags []bool, start int, workers int
 		workers = n
 	}
 	start = ((start % n) + n) % n
+	//lint:allow hotalloc O(workers) shard counts, engaged only for scans of parallelMin elements or more
 	counts := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded parallel fan-out above parallelMin affects wall-clock only
 		go func(w int) {
 			defer wg.Done()
 			lo, hi := shardBounds(w, workers, n)
@@ -275,6 +290,7 @@ func EnumerateFromParallelInto(ranks []int, flags []bool, start int, workers int
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded parallel fan-out above parallelMin affects wall-clock only
 		go func(w int) {
 			defer wg.Done()
 			lo, hi := shardBounds(w, workers, n)
@@ -301,6 +317,8 @@ func EnumerateFromParallelInto(ranks []int, flags []bool, start int, workers int
 // goroutines: per-shard sums, a sequential exclusive scan over them, then a
 // parallel fill.  Integer addition is associative, so the result is
 // bit-identical to the sequential form for any worker count.
+//
+//lint:hotpath
 func PrefixSumParallelInto(out, xs []int, workers int) (total int) {
 	n := len(xs)
 	if workers <= 1 || n < parallelMin {
@@ -312,10 +330,12 @@ func PrefixSumParallelInto(out, xs []int, workers int) (total int) {
 	if workers > n {
 		workers = n
 	}
+	//lint:allow hotalloc O(workers) shard sums, engaged only for scans of parallelMin elements or more
 	sums := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded parallel fan-out above parallelMin affects wall-clock only
 		go func(w int) {
 			defer wg.Done()
 			lo, hi := shardBounds(w, workers, n)
@@ -334,6 +354,7 @@ func PrefixSumParallelInto(out, xs []int, workers int) (total int) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc bounded parallel fan-out above parallelMin affects wall-clock only
 		go func(w int) {
 			defer wg.Done()
 			lo, hi := shardBounds(w, workers, n)
@@ -424,6 +445,8 @@ func Rendezvous(busyRanks, idleRanks []int) []Pair {
 // using inv as the rank-inversion scratch; it returns both (possibly grown)
 // slices so callers can reuse them across phases without allocating.
 // Typical use: pairs, inv = RendezvousInto(pairs[:0], inv, busy, idle).
+//
+//lint:hotpath
 func RendezvousInto(pairs []Pair, inv []int, busyRanks, idleRanks []int) ([]Pair, []int) {
 	if len(busyRanks) != len(idleRanks) {
 		panic("scan: rank slices of unequal length")
@@ -436,6 +459,7 @@ func RendezvousInto(pairs []Pair, inv []int, busyRanks, idleRanks []int) ([]Pair
 		}
 	}
 	if cap(inv) < maxRank+1 {
+		//lint:allow hotalloc rank-inversion scratch grows once and is reused through the caller's arena
 		inv = make([]int, maxRank+1)
 	}
 	inv = inv[:maxRank+1]
@@ -446,6 +470,7 @@ func RendezvousInto(pairs []Pair, inv []int, busyRanks, idleRanks []int) ([]Pair
 	}
 	for i, r := range busyRanks {
 		if r >= 0 && r <= maxRank {
+			//lint:allow hotalloc pairs append is amortised by the caller's reused arena slice
 			pairs = append(pairs, Pair{From: i, To: inv[r]})
 		}
 	}

@@ -128,6 +128,7 @@ func New(cfg Config) (*Server, error) {
 	for name := range runners {
 		domains[name] = true
 	}
+	//lint:allow ctxflow server-lifetime root context, cancelled by Shutdown
 	rootCtx, rootStop := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:       cfg,

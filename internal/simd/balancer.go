@@ -83,11 +83,13 @@ const parallelFlagMin = 1024
 // valid until the next Busy call.
 func (c *Context[S]) Busy() []bool {
 	if cap(c.busy) < len(c.Stacks) {
+		//lint:allow hotalloc flag scratch grows once to P and is reused across phases
 		c.busy = make([]bool, len(c.Stacks))
 	}
 	c.busy = c.busy[:len(c.Stacks)]
 	if c.runParallel != nil && len(c.Stacks) >= parallelFlagMin {
 		if c.taskBusy == nil {
+			//lint:allow hotalloc shard task closure is created once and cached
 			c.taskBusy = func(w int) {
 				lo, hi := c.shardBounds(w, len(c.Stacks))
 				for i := lo; i < hi; i++ {
@@ -109,11 +111,13 @@ func (c *Context[S]) Busy() []bool {
 // call.
 func (c *Context[S]) Idle() []bool {
 	if cap(c.idle) < len(c.Stacks) {
+		//lint:allow hotalloc flag scratch grows once to P and is reused across phases
 		c.idle = make([]bool, len(c.Stacks))
 	}
 	c.idle = c.idle[:len(c.Stacks)]
 	if c.runParallel != nil && len(c.Stacks) >= parallelFlagMin {
 		if c.taskIdle == nil {
+			//lint:allow hotalloc shard task closure is created once and cached
 			c.taskIdle = func(w int) {
 				lo, hi := c.shardBounds(w, len(c.Stacks))
 				for i := lo; i < hi; i++ {
@@ -148,6 +152,7 @@ func (c *Context[S]) ensureSpares(n int) {
 		n = 1
 	}
 	for len(c.spares) < n {
+		//lint:allow hotalloc spare-stack table grows once to the worker count
 		c.spares = append(c.spares, nil)
 	}
 }
@@ -194,6 +199,7 @@ func (c *Context[S]) Transfer(from, to int) int {
 		c.maxTransfer = n
 	}
 	if c.recordDonors {
+		//lint:allow hotalloc donor trace recording is opt-in (Trace.WantDonors)
 		c.donors = append(c.donors, from)
 	}
 	return n
@@ -223,11 +229,13 @@ func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
 	}
 	c.ensureSpares(c.workers)
 	if cap(c.moved) < len(pairs) {
+		//lint:allow hotalloc per-pair move counts grow once to the pair count
 		c.moved = make([]int, len(pairs))
 	}
 	c.moved = c.moved[:len(pairs)]
 	c.curPairs = pairs
 	if c.taskTransfer == nil {
+		//lint:allow hotalloc shard task closure is created once and cached
 		c.taskTransfer = func(w int) {
 			lo, hi := c.shardBounds(w, len(c.curPairs))
 			for k := lo; k < hi; k++ {
@@ -249,6 +257,7 @@ func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
 			c.maxTransfer = n
 		}
 		if c.recordDonors {
+			//lint:allow hotalloc donor trace recording is opt-in (Trace.WantDonors)
 			c.donors = append(c.donors, pairs[k].From)
 		}
 	}

@@ -34,6 +34,7 @@ type IDAStarResult struct {
 // first iteration that finds a goal (or when the space is exhausted).
 // maxIters <= 0 means no iteration limit.
 func RunIDAStar[S any](d search.CostDomain[S], sch Scheme[S], opts Options, maxIters int) (IDAStarResult, error) {
+	//lint:allow ctxflow deprecated context-free wrapper kept for API compatibility
 	return RunIDAStarContext[S](context.Background(), d, sch, opts, maxIters)
 }
 

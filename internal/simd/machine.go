@@ -156,6 +156,7 @@ type Machine[S any] struct {
 // Run simulates the parallel search of d under scheme sch and returns the
 // Section 3.1 statistics.  It is RunContext with a background context.
 func Run[S any](d search.Domain[S], sch Scheme[S], opts Options) (metrics.Stats, error) {
+	//lint:allow ctxflow deprecated context-free wrapper kept for API compatibility
 	return RunContext[S](context.Background(), d, sch, opts)
 }
 
@@ -344,6 +345,7 @@ func (m *Machine[S]) OnCheckpoint(fn func(*Snapshot[S]) error) { m.ckpt = fn }
 // RunContext again with a live context continues the schedule in place.
 func (m *Machine[S]) RunContext(ctx context.Context) (metrics.Stats, error) {
 	if ctx == nil {
+		//lint:allow ctxflow nil-context guard preserving the context-free entry points
 		ctx = context.Background()
 	}
 	m.ctx = ctx
@@ -517,6 +519,8 @@ type cycleResult struct {
 // pops its next node, tests it for the goal and pushes its successors.  It
 // returns the number of PEs that expanded a node and charges the virtual
 // clock.
+//
+//lint:hotpath
 func (m *Machine[S]) cycle() int {
 	var res cycleResult
 	if m.workers == 1 {
@@ -636,6 +640,8 @@ func (m *Machine[S]) recordSample(st trigger.State) {
 
 // balance runs one load-balancing phase, charges its cost, and resets the
 // search-phase accumulators.
+//
+//lint:hotpath
 func (m *Machine[S]) balance(initPhase bool) {
 	ctx := m.lbCtx
 	ctx.reset(m.opts.Trace.WantDonors())

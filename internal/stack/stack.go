@@ -28,6 +28,7 @@ const maxFree = 8
 
 // New returns a stack seeded with the given root-level alternatives.
 func New[S any](roots ...S) *Stack[S] {
+	//lint:allow hotalloc foreign-splitter fallback, the engine's transfers use SplitInto
 	s := &Stack[S]{}
 	if len(roots) > 0 {
 		s.PushLevel(roots)
@@ -55,6 +56,7 @@ func (s *Stack[S]) PushLevel(alts []S) {
 	if len(alts) == 0 {
 		return
 	}
+	//lint:allow hotalloc levels array reaches steady-state depth, then stops growing
 	s.levels = append(s.levels, alts)
 	s.size += len(alts)
 }
@@ -62,6 +64,8 @@ func (s *Stack[S]) PushLevel(alts []S) {
 // Pop removes and returns the next node in depth-first order: the last
 // untried alternative of the deepest level.  It reports false when the
 // stack is empty.
+//
+//lint:hotpath
 func (s *Stack[S]) Pop() (S, bool) {
 	var zero S
 	if s.size == 0 {
@@ -84,6 +88,7 @@ func (s *Stack[S]) trim() {
 	for len(s.levels) > 0 && len(s.levels[len(s.levels)-1]) == 0 {
 		top := len(s.levels) - 1
 		if lv := s.levels[top]; cap(lv) > 0 && len(s.free) < maxFree {
+			//lint:allow hotalloc free-list append is bounded by maxFree
 			s.free = append(s.free, lv[:0])
 		}
 		s.levels[top] = nil
@@ -95,6 +100,8 @@ func (s *Stack[S]) trim() {
 // recycled backing array when one is large enough.  Unlike PushLevel it
 // does not take ownership of alts, so callers may reuse their buffer —
 // this is the engine's per-expansion fast path.
+//
+//lint:hotpath
 func (s *Stack[S]) PushLevelCopy(alts []S) {
 	if len(alts) == 0 {
 		return
@@ -109,9 +116,11 @@ func (s *Stack[S]) PushLevelCopy(alts []S) {
 		}
 	}
 	if lv == nil {
+		//lint:allow hotalloc free-list miss fallback, steady state reuses recycled arrays
 		lv = make([]S, len(alts))
 	}
 	copy(lv, alts)
+	//lint:allow hotalloc levels array reaches steady-state depth, then stops growing
 	s.levels = append(s.levels, lv)
 	s.size += len(alts)
 }
@@ -119,6 +128,8 @@ func (s *Stack[S]) PushLevelCopy(alts []S) {
 // PushOne pushes a single alternative as a deeper level, reusing a
 // recycled backing array when one is available.  It is the splitters'
 // donation fast path (SplitInto into a recycled spare stack).
+//
+//lint:hotpath
 func (s *Stack[S]) PushOne(n S) {
 	var lv []S
 	if k := len(s.free); k > 0 {
@@ -126,9 +137,11 @@ func (s *Stack[S]) PushOne(n S) {
 		s.free[k-1] = nil
 		s.free = s.free[:k-1]
 	} else {
+		//lint:allow hotalloc free-list miss fallback, steady state reuses recycled arrays
 		lv = make([]S, 1)
 	}
 	lv[0] = n
+	//lint:allow hotalloc levels array reaches steady-state depth, then stops growing
 	s.levels = append(s.levels, lv)
 	s.size++
 }
@@ -138,6 +151,8 @@ func (s *Stack[S]) PushOne(n S) {
 // by maxFree), so a cleared stack refills without allocating.  The engine
 // uses it on the per-shard spare stacks that shuttle split work from donor
 // to receiver during a load-balancing phase.
+//
+//lint:hotpath
 func (s *Stack[S]) Clear() {
 	var zero S
 	for i, lv := range s.levels {
@@ -145,6 +160,7 @@ func (s *Stack[S]) Clear() {
 			lv[j] = zero
 		}
 		if cap(lv) > 0 && len(s.free) < maxFree {
+			//lint:allow hotalloc free-list append is bounded by maxFree
 			s.free = append(s.free, lv[:0])
 		}
 		s.levels[i] = nil
@@ -180,6 +196,7 @@ func (s *Stack[S]) removeBottom() (S, bool) {
 func (s *Stack[S]) Append(d *Stack[S]) {
 	for _, lv := range d.levels {
 		if len(lv) > 0 {
+			//lint:allow hotalloc foreign-splitter fallback, the engine's transfers use SplitInto
 			s.levels = append(s.levels, lv)
 			s.size += len(lv)
 		}
@@ -193,6 +210,8 @@ func (s *Stack[S]) Append(d *Stack[S]) {
 // taking ownership of d's storage.  The donor keeps its backing arrays, so
 // a spare stack that shuttles transferred work can be Cleared and reused
 // without either side allocating in steady state.
+//
+//lint:hotpath
 func (s *Stack[S]) AppendCopy(d *Stack[S]) {
 	for _, lv := range d.levels {
 		if len(lv) > 0 {
@@ -271,6 +290,8 @@ func (b BottomNode[S]) Split(s *Stack[S]) *Stack[S] {
 }
 
 // SplitInto implements IntoSplitter.
+//
+//lint:hotpath
 func (BottomNode[S]) SplitInto(src, dst *Stack[S]) {
 	if node, ok := src.removeBottom(); ok {
 		dst.PushOne(node)
@@ -292,6 +313,8 @@ func (h HalfStack[S]) Split(s *Stack[S]) *Stack[S] {
 }
 
 // SplitInto implements IntoSplitter.
+//
+//lint:hotpath
 func (HalfStack[S]) SplitInto(src, dst *Stack[S]) {
 	moved := 0
 	for i, lv := range src.levels {
@@ -336,6 +359,8 @@ func (t TopNode[S]) Split(s *Stack[S]) *Stack[S] {
 }
 
 // SplitInto implements IntoSplitter.
+//
+//lint:hotpath
 func (TopNode[S]) SplitInto(src, dst *Stack[S]) {
 	if node, ok := src.Pop(); ok {
 		dst.PushOne(node)
