@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint lint-hotpath fmt serve fleet experiments-quick experiments-full report clean
+.PHONY: all build test test-race bench bench-go bench-baseline bench-check fuzz vet lint lint-hotpath fmt serve fleet load experiments-quick experiments-full report clean
 
 all: build lint test
 
@@ -51,7 +51,7 @@ vet:
 
 # Repo-specific static analysis: determinism (detrand, maporder), float
 # equality, dropped errors, sync misuse, pool reset, and the cross-package
-# suite (hotalloc, ctxflow, lockorder, atomicmix).
+# suite (hotalloc, ctxflow, lockorder, atomicmix, sseflush).
 lint: vet lint-hotpath
 	$(GO) run ./cmd/simdlint ./...
 
@@ -76,6 +76,14 @@ fleet:
 	$(GO) build -o bin/simdserve ./cmd/simdserve
 	$(GO) build -o bin/simdfleet ./cmd/simdfleet
 	./scripts/fleet.sh
+
+# Traffic-layer load smoke: simdload drives an in-process frontend for a
+# few seconds and regenerates the BENCH_1.json report (jobs/sec, latency
+# percentiles, collapse rate, tenant fairness spread).  -check fails the
+# run on transport errors, zero throughput, or any byte-identity
+# violation among collapsed responses (see DESIGN.md section 14).
+load:
+	$(GO) run ./cmd/simdload -inproc -duration 5s -check -out BENCH_1.json
 
 # The paper's evaluation at reduced scale (~2 min).
 experiments-quick:

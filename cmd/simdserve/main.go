@@ -6,6 +6,14 @@
 // previous process left interrupted, completing it to the identical
 // result.
 //
+// The traffic layer (internal/traffic) fronts the service by default:
+// batch submission (POST /v1/jobs:batch), single-flight collapsing of
+// concurrent identical specs, SSE progress streams
+// (GET /v1/jobs/{id}/events, resumable via Last-Event-ID), cost
+// estimation (POST /v1/estimate), and deficit-round-robin tenant
+// fairness keyed on the X-Tenant header (-fair=false restores the
+// global FIFO; -tenant-quota bounds one tenant's outstanding jobs).
+//
 // Quickstart:
 //
 //	simdserve -addr :8080 &
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"simdtree/internal/server"
+	"simdtree/internal/traffic"
 )
 
 func main() {
@@ -52,12 +61,25 @@ func run() error {
 		spool       = flag.String("spool", "", "directory for crash-recovery job checkpoints (empty = disabled); on startup interrupted jobs found there are resumed")
 		ckptEvery   = flag.Int("checkpoint-every", 1000, "cycles between spooled checkpoints of a running job (needs -spool)")
 		enablePprof = flag.Bool("pprof", false, "serve the net/http/pprof profiling endpoints under /debug/pprof/ (exposes internals; enable only on trusted networks)")
+
+		fair          = flag.Bool("fair", true, "per-tenant deficit-round-robin scheduling (X-Tenant header); false restores the global FIFO")
+		quantum       = flag.Float64("quantum", 1, "DRR cost units granted per tenant visit (needs -fair)")
+		tenantQuota   = flag.Int("tenant-quota", 0, "max outstanding jobs per tenant (0 = unlimited)")
+		maxBatch      = flag.Int("max-batch", 64, "max specs per POST /v1/jobs:batch request")
+		heartbeat     = flag.Duration("sse-heartbeat", 15*time.Second, "SSE comment-heartbeat cadence on /v1/jobs/{id}/events")
+		progressEvery = flag.Int("progress-every", 250, "cycles between SSE progress events (negative = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %q", flag.Args())
 	}
 
+	var drr *traffic.DRR
+	var sched server.Scheduler
+	if *fair {
+		drr = traffic.NewDRR(*queueSize, *quantum)
+		sched = drr
+	}
 	svc, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueSize:       *queueSize,
@@ -69,13 +91,20 @@ func run() error {
 		CheckpointEvery: *ckptEvery,
 		EnablePprof:     *enablePprof,
 		DrainTimeout:    *drain,
+		Scheduler:       sched,
+		ProgressEvery:   *progressEvery,
 	})
 	if err != nil {
 		return err
 	}
+	frontend := traffic.New(svc, drr, traffic.Config{
+		MaxBatch:       *maxBatch,
+		TenantQuota:    *tenantQuota,
+		HeartbeatEvery: *heartbeat,
+	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           frontend.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

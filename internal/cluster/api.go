@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"simdtree/internal/server"
@@ -60,6 +59,8 @@ func renderFleetJob(v fleetJobView, raw json.RawMessage) fleetJobResponse {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", c.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
 	mux.HandleFunc("GET /v1/jobs", c.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
@@ -71,10 +72,11 @@ func (c *Coordinator) Handler() http.Handler {
 }
 
 // handleSubmit implements POST /v1/jobs: canonicalize against the same
-// rules a node applies, hash the canonical spec, route by ring (or GP
-// overflow), and forward.  A 429/503 from the chosen node triggers one
-// GP retry on the remaining underloaded nodes before the rejection is
-// passed through.
+// rules a node applies, hash the canonical spec, collapse onto an
+// identical in-flight job if one exists anywhere in the ring, otherwise
+// route by ring (or GP overflow) and forward.  A 429/503 from the chosen
+// node triggers one GP retry on the remaining underloaded nodes before
+// the rejection is passed through.
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec server.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -88,63 +90,34 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := server.CacheKey(canonical)
-	specJSON, err := json.Marshal(canonical)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+	tenant := r.Header.Get(server.TenantHeader)
+	f, raw, collapsed, code, msg := c.submitOne(r.Context(), canonical, tenant)
+	if code != 0 {
+		writeError(w, code, msg)
 		return
 	}
-
-	target, overflow, err := c.route(key)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
+	if collapsed {
+		w.Header().Set("X-Collapsed", "1")
 	}
-	nj, raw, err := c.submitToNode(r.Context(), target, specJSON)
-	if err != nil {
-		// The routed node refused or vanished between probe and submit;
-		// give the GP pointer one chance to place the job elsewhere.
-		alt, ok := c.gp.Pick(func(u string) bool {
-			return u != target && c.routable(u) && c.depth(u) <= c.cfg.OverflowDepth
-		})
-		if !ok {
-			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s: %v", target, err))
-			return
-		}
-		nj, raw, err = c.submitToNode(r.Context(), alt, specJSON)
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s: %v", alt, err))
-			return
-		}
-		target, overflow = alt, true
+	v := f.snapshot()
+	status := http.StatusAccepted
+	if terminalStatus(v.Status) {
+		status = http.StatusOK // node served it from cache
 	}
-
-	f := &fleetJob{
-		id:       "f" + strconv.FormatInt(c.nextID.Add(1), 10),
-		key:      key,
-		spec:     specJSON,
-		overflow: overflow,
-	}
-	f.place(target, nj.ID, string(nj.Status), false)
-	c.jobs.add(f)
-	c.ctr.jobsRouted.Add(1)
-	if overflow {
-		c.ctr.jobsOverflow.Add(1)
-	}
-	code := http.StatusAccepted
-	if terminalStatus(string(nj.Status)) {
-		code = http.StatusOK // node served it from cache
-	}
-	writeJSON(w, code, renderFleetJob(f.snapshot(), raw))
+	writeJSON(w, status, renderFleetJob(v, raw))
 }
 
-// submitToNode POSTs a canonical spec to one node's /v1/jobs.
-func (c *Coordinator) submitToNode(ctx context.Context, target string, specJSON []byte) (nodeJob, json.RawMessage, error) {
+// submitToNode POSTs a canonical spec to one node's /v1/jobs, forwarding
+// the submitting tenant.
+func (c *Coordinator) submitToNode(ctx context.Context, target string, specJSON []byte, tenant string) (nodeJob, json.RawMessage, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/jobs", bytes.NewReader(specJSON))
 	if err != nil {
 		return nodeJob{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(server.TenantHeader, tenant)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nodeJob{}, nil, err
@@ -336,6 +309,7 @@ type fleetMetrics struct {
 	NodesTotal        int     `json:"nodes_total"`
 	NodesHealthy      int     `json:"nodes_healthy"`
 	JobsRouted        int64   `json:"jobs_routed_total"`
+	JobsCollapsed     int64   `json:"jobs_collapsed_total"`
 	JobsOverflow      int64   `json:"jobs_overflow_routed_total"`
 	JobsFailedOver    int64   `json:"jobs_failed_over_total"`
 	FailoverResumed   int64   `json:"jobs_failed_over_resumed_total"`
@@ -359,6 +333,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		NodesTotal:        len(c.order),
 		NodesHealthy:      healthy,
 		JobsRouted:        c.ctr.jobsRouted.Load(),
+		JobsCollapsed:     c.ctr.jobsCollapsed.Load(),
 		JobsOverflow:      c.ctr.jobsOverflow.Load(),
 		JobsFailedOver:    c.ctr.jobsFailedOver.Load(),
 		FailoverResumed:   c.ctr.failoverResumed.Load(),

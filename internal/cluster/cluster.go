@@ -92,10 +92,20 @@ type Coordinator struct {
 	gp      *GPSelector
 	domains map[string]bool
 	client  *http.Client
+	// stream is the client for long-lived SSE proxying: no overall
+	// timeout (a progress stream legitimately outlives RequestTimeout);
+	// cancellation comes from the subscriber's request context.
+	stream *http.Client
 
 	nodesMu sync.RWMutex // guards the map structure only; nodes lock themselves
 	nodes   map[string]*node
 	order   []string // sorted node URLs, the ring/GP membership order
+
+	// inflight collapses identical in-flight specs across the ring: cache
+	// key -> fleet job id of a non-terminal routed job.  Entries are
+	// dropped lazily when the job is observed terminal.
+	inflightMu sync.Mutex
+	inflight   map[string]string
 
 	jobs    *fleetStore
 	ctr     fleetCounters
@@ -110,6 +120,7 @@ type Coordinator struct {
 // fleetCounters are the /metrics monotonic counters.
 type fleetCounters struct {
 	jobsRouted        atomic.Int64 // jobs forwarded to their ring home
+	jobsCollapsed     atomic.Int64 // submissions answered by an in-flight identical spec
 	jobsOverflow      atomic.Int64 // jobs spilled to a GP-picked target
 	jobsFailedOver    atomic.Int64 // jobs re-dispatched after a node death
 	failoverResumed   atomic.Int64 // ...of which resumed from a shipped checkpoint
@@ -158,8 +169,10 @@ func New(cfg Config) (*Coordinator, error) {
 		gp:       NewGPSelector(order),
 		domains:  domains,
 		client:   &http.Client{Timeout: cfg.RequestTimeout},
+		stream:   &http.Client{},
 		nodes:    nodes,
 		order:    order,
+		inflight: make(map[string]string),
 		jobs:     newFleetStore(),
 		started:  time.Now(),
 		loopCtx:  loopCtx,

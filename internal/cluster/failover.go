@@ -118,7 +118,7 @@ func (c *Coordinator) failover(ctx context.Context, dead string) {
 		f.mu.Lock()
 		spec := f.spec
 		f.mu.Unlock()
-		nj, _, err := c.submitToNode(ctx, target, spec)
+		nj, _, err := c.submitToNode(ctx, target, spec, "")
 		if err != nil {
 			f.mu.Lock()
 			f.lastErr = fmt.Sprintf("failover to %s: %v", target, err)

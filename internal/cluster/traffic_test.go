@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/server"
+	"simdtree/internal/simd"
+	"simdtree/internal/traffic"
+)
+
+// startTrafficNode boots a node the way simdserve does in production:
+// the server wrapped in the traffic frontend, so it serves the batch and
+// SSE routes the coordinator proxies to.
+func startTrafficNode(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := traffic.New(s, nil, traffic.Config{})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("node shutdown: %v", err)
+		}
+	})
+	return ts.URL
+}
+
+// fleetBatchWire mirrors the coordinator's batch response for tests.
+type fleetBatchWire struct {
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Collapsed int `json:"collapsed"`
+	Items     []struct {
+		Index     int    `json:"index"`
+		Code      int    `json:"code"`
+		Error     string `json:"error"`
+		ID        string `json:"id"`
+		Node      string `json:"node"`
+		Status    string `json:"status"`
+		Collapsed bool   `json:"collapsed"`
+	} `json:"items"`
+}
+
+// blockingRunner counts invocations and blocks until release closes.
+func blockingRunner(runs *atomic.Int64, release <-chan struct{}) server.Runner {
+	return func(ctx context.Context, spec server.JobSpec, opts simd.Options, env server.RunEnv) (metrics.Stats, error) {
+		runs.Add(1)
+		select {
+		case <-ctx.Done():
+			return metrics.Stats{Cancelled: true}, context.Cause(ctx)
+		case <-release:
+			return metrics.Stats{P: spec.P, W: 1}, nil
+		}
+	}
+}
+
+// TestFleetCollapseAndBatch covers the coordinator's traffic layer: an
+// identical in-flight spec collapses ring-wide onto one routed job (for
+// single submissions and batch items alike), batches return per-item
+// verdicts, and the collapse counter surfaces in /metrics.
+func TestFleetCollapseAndBatch(t *testing.T) {
+	ctx := context.Background()
+	var runs atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+
+	nodeCfg := server.Config{Workers: 1, Runners: map[string]server.Runner{
+		"gatesim":  blockingRunner(&runs, release),
+		"fleetsim": fleetRunner(nil),
+	}}
+	urls := []string{startTrafficNode(t, nodeCfg), startTrafficNode(t, nodeCfg)}
+
+	c, err := New(Config{
+		Nodes:          urls,
+		OverflowDepth:  1000,
+		ExtraDomains:   []string{"gatesim", "fleetsim"},
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background()) //lint:allow errdrop no loops are running
+	c.ProbeOnce(ctx)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	const gated = `{"domain":"gatesim","scheme":"GP-DK","p":8}`
+	first, code := postJSONAs[fleetWireJob](t, front.URL+"/v1/jobs", gated)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+
+	// The identical spec must collapse onto the same fleet job, marked
+	// by the X-Collapsed header.
+	resp, err := http.Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(gated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dup fleetWireJob
+	if err := json.NewDecoder(resp.Body).Decode(&dup); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Collapsed") != "1" {
+		t.Error("duplicate submission not marked X-Collapsed")
+	}
+	if dup.ID != first.ID {
+		t.Fatalf("duplicate routed to fleet job %s, want collapse onto %s", dup.ID, first.ID)
+	}
+
+	// Batch: a collapsing duplicate, a fresh job, and a bad domain.
+	batch := fmt.Sprintf(`{"jobs": [%s, %s, {"domain":"nope","scheme":"GP-DK","p":8}]}`,
+		gated, fleetSpec)
+	br, code := postJSONAs[fleetBatchWire](t, front.URL+"/v1/jobs:batch", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if br.Accepted != 2 || br.Rejected != 1 || br.Collapsed != 1 {
+		t.Fatalf("batch tallies accepted=%d rejected=%d collapsed=%d, want 2/1/1", br.Accepted, br.Rejected, br.Collapsed)
+	}
+	if !br.Items[0].Collapsed || br.Items[0].ID != first.ID {
+		t.Errorf("batch item 0 = %+v, want collapse onto %s", br.Items[0], first.ID)
+	}
+	if br.Items[1].Code != http.StatusAccepted || br.Items[1].Node == "" {
+		t.Errorf("batch item 1 = %+v, want 202 with a routed node", br.Items[1])
+	}
+	if br.Items[2].Code != http.StatusBadRequest || br.Items[2].Error == "" {
+		t.Errorf("batch item 2 = %+v, want 400 with message", br.Items[2])
+	}
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("gated engine ran %d times across 3 identical submissions, want 1", got)
+	}
+
+	once.Do(func() { close(release) })
+	fin := waitFleetTerminal(t, front.URL, first.ID)
+	if fin.Status != "done" {
+		t.Fatalf("gated job finished %q", fin.Status)
+	}
+
+	// After the flight is terminal, the collapse entry lapses: the same
+	// spec now opens a new fleet job (served from the node's cache).
+	again, _ := postJSONAs[fleetWireJob](t, front.URL+"/v1/jobs", gated)
+	if again.ID == first.ID {
+		t.Error("terminal fleet job still collapsing new submissions")
+	}
+
+	m := getJSONAs[map[string]any](t, front.URL+"/metrics")
+	if got, _ := m["jobs_collapsed_total"].(float64); got != 2 {
+		t.Errorf("jobs_collapsed_total = %v, want 2", m["jobs_collapsed_total"])
+	}
+}
+
+// TestFleetSSEProxy streams a finished job's progress events through the
+// coordinator and resumes with Last-Event-ID, checking the proxy
+// preserves the node's stream and cursor semantics.
+func TestFleetSSEProxy(t *testing.T) {
+	ctx := context.Background()
+	url := startTrafficNode(t, server.Config{Workers: 1, ProgressEvery: 50})
+	c, err := New(Config{
+		Nodes:          []string{url},
+		OverflowDepth:  1000,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background()) //lint:allow errdrop no loops are running
+	c.ProbeOnce(ctx)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	spec := `{"domain":"synthetic","scheme":"GP-DK","p":8,"synthetic":{"w":20000,"seed":7}}`
+	sub, code := postJSONAs[fleetWireJob](t, front.URL+"/v1/jobs", spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	waitFleetTerminal(t, front.URL, sub.ID)
+
+	type frame struct {
+		id       int64
+		terminal bool
+	}
+	readStream := func(lastEventID string) []frame {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, front.URL+"/v1/jobs/"+sub.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("events content type %q", ct)
+		}
+		var frames []frame
+		var cur frame
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if cur.id != 0 {
+					frames = append(frames, cur)
+				}
+				cur = frame{}
+			case strings.HasPrefix(line, "id: "):
+				fmt.Sscanf(line, "id: %d", &cur.id)
+			case strings.HasPrefix(line, "data: "):
+				cur.terminal = strings.Contains(line, `"terminal":true`)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		return frames
+	}
+
+	full := readStream("")
+	if len(full) < 3 {
+		t.Fatalf("only %d events through the proxy", len(full))
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i].id <= full[i-1].id {
+			t.Fatalf("ids not increasing: %d after %d", full[i].id, full[i-1].id)
+		}
+	}
+	if !full[len(full)-1].terminal {
+		t.Fatal("stream did not end with the terminal event")
+	}
+
+	mid := full[len(full)/2].id
+	tail := readStream(fmt.Sprint(mid))
+	if len(tail) == 0 || tail[0].id != mid+1 {
+		t.Fatalf("resumed stream starts at %v, want %d", tail, mid+1)
+	}
+	if tail[len(tail)-1].id != full[len(full)-1].id {
+		t.Fatalf("resumed stream ends at %d, want %d", tail[len(tail)-1].id, full[len(full)-1].id)
+	}
+
+	// Unknown fleet id is refused before any proxying.
+	resp, err := http.Get(front.URL + "/v1/jobs/zzz/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", resp.StatusCode)
+	}
+}

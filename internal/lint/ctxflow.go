@@ -14,6 +14,7 @@ var ctxPkgs = map[string]bool{
 	"simd":    true,
 	"server":  true,
 	"cluster": true,
+	"traffic": true,
 }
 
 // CtxFlow enforces context propagation: an exported function of the

@@ -109,6 +109,9 @@ func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) boo
 	if !ok {
 		return false
 	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false // a method of the package's types, e.g. http.Header.Get
+	}
 	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
 }
 

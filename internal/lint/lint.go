@@ -35,6 +35,9 @@
 //     in the module, including orders induced through callees.
 //   - atomicmix: objects accessed both through sync/atomic and with
 //     plain reads or writes.
+//   - sseflush: functions producing a text/event-stream response from
+//     which no Flush call, or no context-cancellation check, is
+//     statically reachable.
 //
 // A finding is suppressed by a line comment of the form
 //
@@ -120,7 +123,7 @@ func deterministic(pkg *Package) bool {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRand, MapOrder, FloatEq, ErrDrop, SyncMisuse, PoolReset,
-		HotAlloc, CtxFlow, LockOrder, AtomicMix,
+		HotAlloc, CtxFlow, LockOrder, AtomicMix, SSEFlush,
 	}
 }
 

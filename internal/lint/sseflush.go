@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// sseMIME is the literal that marks a function as an SSE producer.
+const sseMIME = "text/event-stream"
+
+// SSEFlush enforces the two invariants of a Server-Sent-Events write
+// path.  A function whose body mentions the "text/event-stream" media
+// type is producing (or proxying) an SSE stream, and from it two things
+// must be statically reachable through the call graph:
+//
+//   - a Flush call (http.Flusher or http.ResponseController): SSE rides
+//     a never-ending chunked response, so an unflushed event sits in the
+//     ResponseWriter's buffer — the client sees a connected stream that
+//     never delivers;
+//
+//   - context plumbing — a ctx.Done() receive or an
+//     http.NewRequestWithContext derived upstream request: the stream is
+//     an unbounded loop, and without the request context in the loop a
+//     departed client leaks the handler goroutine forever.
+//
+// The media-type literal is the trigger rather than handler signatures so
+// the check covers proxies and helpers, not just top-level handlers.
+var SSEFlush = &Analyzer{
+	Name: "sseflush",
+	Doc:  "SSE producer (mentions text/event-stream) with no reachable Flush call or no reachable ctx cancellation check",
+	RunModule: func(p *ModulePass) {
+		for _, fn := range p.Graph.Sorted {
+			if !mentionsSSE(fn) {
+				continue
+			}
+			flushes, honoursCtx := scanSSEPath(fn)
+			if !flushes {
+				p.Reportf(fn.Decl.Name.Pos(),
+					"%s writes an SSE stream but no Flush call is reachable; buffered events never reach the client",
+					fn.DisplayName())
+			}
+			if !honoursCtx {
+				p.Reportf(fn.Decl.Name.Pos(),
+					"%s writes an SSE stream but neither ctx.Done() nor a context-derived upstream request is reachable; a departed client leaks the stream goroutine",
+					fn.DisplayName())
+			}
+		}
+	},
+}
+
+// mentionsSSE reports whether fn's body (closures included) contains the
+// SSE media-type literal.
+func mentionsSSE(fn *Function) bool {
+	found := false
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		lit, ok := n.(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		if s, err := strconv.Unquote(lit.Value); err == nil && strings.Contains(s, sseMIME) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// scanSSEPath walks the static call graph from fn and reports whether a
+// Flush call and a cancellation check are reachable.  Method names are
+// matched loosely (Flush/FlushError, Done) — the receiver may be an
+// http.Flusher, a ResponseController, or a wrapper, and over-matching
+// here only makes the check more permissive, never noisier.
+func scanSSEPath(fn *Function) (flushes, honoursCtx bool) {
+	seen := map[*Function]bool{fn: true}
+	queue := []*Function{fn}
+	for len(queue) > 0 && !(flushes && honoursCtx) {
+		cur := queue[0]
+		queue = queue[1:]
+		f, c := sseEvidence(cur)
+		flushes = flushes || f
+		honoursCtx = honoursCtx || c
+		for _, e := range cur.Calls {
+			if e.Callee != nil && !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return flushes, honoursCtx
+}
+
+// sseEvidence inspects one function body (closures included) for the two
+// facts scanSSEPath accumulates.
+func sseEvidence(fn *Function) (flushes, honoursCtx bool) {
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Flush", "FlushError":
+				flushes = true
+			case "Done":
+				honoursCtx = true
+			}
+		}
+		if pkgFuncCall(info, call, "net/http", "NewRequestWithContext") {
+			honoursCtx = true
+		}
+		return true
+	})
+	return flushes, honoursCtx
+}

@@ -1,0 +1,116 @@
+// Package sseflush is a lint fixture for the SSE write-path analyzer.
+package sseflush
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+)
+
+// NoFlushNoCtx streams events but neither flushes nor watches the
+// request context: the buffered events never leave the process and a
+// departed client leaks the loop.
+func NoFlushNoCtx(w http.ResponseWriter, events <-chan string) { // want "sseflush: .*no Flush call is reachable" // want "sseflush: .*neither ctx.Done"
+	w.Header().Set("Content-Type", "text/event-stream")
+	for ev := range events {
+		fmt.Fprintf(w, "data: %s\n\n", ev)
+	}
+}
+
+// FlushButNoCtx flushes every event but never consults the context.
+func FlushButNoCtx(w http.ResponseWriter, events <-chan string) { // want "sseflush: .*neither ctx.Done"
+	w.Header().Set("Content-Type", "text/event-stream")
+	rc := http.NewResponseController(w)
+	for ev := range events {
+		fmt.Fprintf(w, "data: %s\n\n", ev)
+		if err := rc.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// CtxButNoFlush watches the context but never flushes.
+func CtxButNoFlush(ctx context.Context, w http.ResponseWriter, events <-chan string) { // want "sseflush: .*no Flush call is reachable"
+	w.Header().Set("Content-Type", "text/event-stream")
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-events:
+			fmt.Fprintf(w, "data: %s\n\n", ev)
+		}
+	}
+}
+
+// Good does both, directly.
+func Good(ctx context.Context, w http.ResponseWriter, events <-chan string) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	rc := http.NewResponseController(w)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-events:
+			fmt.Fprintf(w, "data: %s\n\n", ev)
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// GoodViaHelper reaches both obligations through a callee — the analyzer
+// follows the call graph, not just the handler body.
+func GoodViaHelper(ctx context.Context, w http.ResponseWriter, events <-chan string) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	for {
+		if !emit(ctx, w, events) {
+			return
+		}
+	}
+}
+
+func emit(ctx context.Context, w http.ResponseWriter, events <-chan string) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case ev := <-events:
+		fmt.Fprintf(w, "data: %s\n\n", ev)
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			return false
+		}
+		return true
+	}
+}
+
+// GoodProxy is the streaming-proxy shape: cancellation rides the
+// context-derived upstream request (a cancelled subscriber fails the
+// upstream read), so no literal Done() receive appears.
+func GoodProxy(w http.ResponseWriter, r *http.Request, upstream string) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, upstream, nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if ferr := rc.Flush(); ferr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

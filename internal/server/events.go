@@ -1,0 +1,92 @@
+package server
+
+import "sync"
+
+// Per-job progress events feed the traffic layer's SSE endpoint
+// (GET /v1/jobs/{id}/events).  Three sources produce them, all already
+// present in the job lifecycle: status transitions (queued → running →
+// terminal), the engine's periodic Progress snapshots, and the spool's
+// checkpoint writes.  Events are held in a bounded per-job log with
+// monotonically increasing sequence numbers, so a client that reconnects
+// with Last-Event-ID resumes exactly where its stream broke (best-effort
+// once the log has trimmed past that point; the terminal event is always
+// retained implicitly because a terminal job stops appending).
+
+// Event types.
+const (
+	EventStatus     = "status"     // lifecycle transition; Status is set
+	EventProgress   = "progress"   // periodic engine liveness snapshot
+	EventCheckpoint = "checkpoint" // a spooled checkpoint was persisted
+)
+
+// JobEvent is one entry of a job's progress stream.  The JSON encoding is
+// the SSE data payload.
+type JobEvent struct {
+	Seq      int64  `json:"seq"`
+	Type     string `json:"type"`
+	Status   Status `json:"status,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Cycle    int    `json:"cycle,omitempty"`
+	Active   int    `json:"active,omitempty"`
+	W        int64  `json:"w,omitempty"`
+	LBPhases int    `json:"lb_phases,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Terminal marks the final event of the stream; subscribers close
+	// after delivering it.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// eventLogCap bounds the per-job event buffer.  Status and checkpoint
+// events are sparse; progress events arrive every Config.ProgressEvery
+// cycles, so the buffer covers the most recent ~eventLogCap ticks — a
+// reconnecting client older than that restarts from the oldest retained
+// event.
+const eventLogCap = 1024
+
+// eventLog is a bounded append-only event buffer with sequence numbers
+// and edge-triggered wakeups for streaming readers.
+type eventLog struct {
+	mu     sync.Mutex
+	next   int64 // seq the next append will get (first event: 1)
+	base   int64 // seq of events[0]
+	events []JobEvent
+	wake   chan struct{} // closed and replaced on every append
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{next: 1, base: 1, wake: make(chan struct{})}
+}
+
+// append assigns the next sequence number to ev, stores it, and wakes
+// every blocked reader.  It is cheap enough to run on the simulation
+// goroutine (the engine's Progress contract).
+func (l *eventLog) append(ev JobEvent) {
+	l.mu.Lock()
+	ev.Seq = l.next
+	l.next++
+	l.events = append(l.events, ev)
+	if len(l.events) > eventLogCap {
+		drop := len(l.events) - eventLogCap
+		l.base += int64(drop)
+		l.events = append(l.events[:0], l.events[drop:]...)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// since returns a copy of the buffered events with Seq > after, plus a
+// channel that is closed on the next append — the reader's blocking edge.
+func (l *eventLog) since(after int64) ([]JobEvent, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := after + 1 - l.base
+	if start < 0 {
+		start = 0
+	}
+	var out []JobEvent
+	if int(start) < len(l.events) {
+		out = append(out, l.events[start:]...)
+	}
+	return out, l.wake
+}

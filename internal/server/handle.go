@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// JobHandle is the programmatic counterpart of the HTTP job API.  The
+// traffic layer (internal/traffic) submits and observes jobs through it
+// without a network hop, which is what makes single-flight collapsing
+// byte-exact: every collapsed subscriber fans out the one rendered
+// response of the one real run.
+type JobHandle struct {
+	s *Server
+	j *job
+}
+
+// ID returns the job id ("j1", ...).
+func (h *JobHandle) ID() string { return h.j.id }
+
+// Key returns the canonical spec cache key, the single-flight collapse
+// key.
+func (h *JobHandle) Key() string { return h.j.key }
+
+// Tenant returns the tenant the job was admitted under.
+func (h *JobHandle) Tenant() string { return h.j.tenant }
+
+// Spec returns the canonical job spec.
+func (h *JobHandle) Spec() JobSpec { return h.j.spec }
+
+// CacheHit reports whether the job was answered from the result cache.
+func (h *JobHandle) CacheHit() bool {
+	h.j.mu.Lock()
+	defer h.j.mu.Unlock()
+	return h.j.cacheHit
+}
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (h *JobHandle) Done() <-chan struct{} { return h.j.done }
+
+// Status returns the job's current lifecycle state.
+func (h *JobHandle) Status() Status {
+	h.j.mu.Lock()
+	defer h.j.mu.Unlock()
+	return h.j.status
+}
+
+// Terminal reports whether the job is finished.
+func (h *JobHandle) Terminal() bool { return h.j.isTerminal() }
+
+// Cancel requests cancellation (the DELETE /v1/jobs/{id} action).
+func (h *JobHandle) Cancel() { h.j.requestCancel(errCancelRequested) }
+
+// ResponseBytes renders the job document exactly as the HTTP layer
+// writes it (indented JSON plus trailing newline), so callers can fan the
+// same bytes out to any number of subscribers.
+func (h *JobHandle) ResponseBytes() ([]byte, error) {
+	b, err := json.MarshalIndent(renderJob(h.j.view()), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// EventsSince returns the buffered job events with Seq > after, plus a
+// channel closed when the next event is appended.  See eventLog.since.
+func (h *JobHandle) EventsSince(after int64) ([]JobEvent, <-chan struct{}) {
+	return h.j.events.since(after)
+}
+
+// JobByID looks up an addressable job.
+func (s *Server) JobByID(id string) (*JobHandle, bool) {
+	j, ok := s.store.get(id)
+	if !ok {
+		return nil, false
+	}
+	return &JobHandle{s: s, j: j}, true
+}
+
+// CanonicalizeSpec validates and canonicalizes spec against this server's
+// domain set (built-ins plus injected runners).
+func (s *Server) CanonicalizeSpec(spec JobSpec) (JobSpec, error) {
+	return Canonicalize(spec, s.domains)
+}
+
+// Refusal describes a rejected submission: the HTTP status to answer
+// with, the message, and the Retry-After hint in seconds (429 only).
+type Refusal struct {
+	Code       int
+	Message    string
+	RetryAfter int
+}
+
+// apply writes the refusal to w.
+func (rf *Refusal) apply(w http.ResponseWriter) {
+	if rf.Code == http.StatusTooManyRequests && rf.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(rf.RetryAfter))
+	}
+	writeError(w, rf.Code, rf.Message)
+}
+
+// SubmitCanonical is the programmatic submission path shared by the HTTP
+// handler and the traffic layer: consult the result cache, otherwise
+// admit to the scheduler under the given tenant and predicted cost.  The
+// spec must already be canonical and key its cache key.  A nil Refusal
+// means the job was accepted (possibly finished instantly from cache).
+func (s *Server) SubmitCanonical(canonical JobSpec, key, tenant string, cost float64) (*JobHandle, *Refusal) {
+	if cost <= 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		cost = 1
+	}
+	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
+	now := time.Now()
+	j := newJob(s, id, canonical, key, now)
+	j.tenant = tenant
+	j.cost = cost
+
+	if s.finishFromCache(j, now) {
+		return &JobHandle{s: s, j: j}, nil
+	}
+	if code, msg := s.enqueue(j); code != 0 {
+		rf := &Refusal{Code: code, Message: msg}
+		if code == http.StatusTooManyRequests {
+			rf.RetryAfter = s.retryAfterSeconds()
+		}
+		return nil, rf
+	}
+	return &JobHandle{s: s, j: j}, nil
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the current
+// backlog and the recent mean job duration: the time the backlog needs to
+// drain through the pool, clamped to [1s, 10min].  Before any job has
+// completed the mean defaults to one second.
+func (s *Server) retryAfterSeconds() int {
+	mean := time.Second
+	if n := s.ctr.runDurCount.Load(); n > 0 {
+		mean = time.Duration(s.ctr.runDurSumNS.Load() / n)
+	}
+	depth := s.sched.Depth()
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	est := time.Duration(depth/workers+1) * mean
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// TenantHeader is the HTTP header naming the submitting tenant; absent or
+// empty means DefaultTenant.
+const TenantHeader = "X-Tenant"
+
+// DefaultTenant is the tenant unlabelled traffic is accounted under.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds the accepted tenant label.
+const maxTenantLen = 64
+
+// TenantFrom extracts and validates the tenant label of a request.
+func TenantFrom(r *http.Request) (string, error) {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		return DefaultTenant, nil
+	}
+	if len(t) > maxTenantLen {
+		return "", fmt.Errorf("%s exceeds %d bytes", TenantHeader, maxTenantLen)
+	}
+	for _, c := range t {
+		if c < 0x21 || c > 0x7e {
+			return "", fmt.Errorf("%s carries a non-printable or space character", TenantHeader)
+		}
+	}
+	return t, nil
+}

@@ -41,9 +41,15 @@ var (
 
 // job is one queued/executing search request.
 type job struct {
-	id   string
-	spec JobSpec // canonical
-	key  string  // cache key of spec
+	id     string
+	spec   JobSpec // canonical
+	key    string  // cache key of spec
+	tenant string  // accounting tenant (X-Tenant header, or "default")
+	cost   float64 // predicted work in scheduler cost units (1 = no estimate)
+
+	// events is the job's progress stream (status transitions, engine
+	// progress ticks, checkpoint writes), feeding the SSE endpoint.
+	events *eventLog
 
 	// runCtx and cancel are created at submission (derived from the
 	// server's root context), so a job can be cancelled with a cause
@@ -106,6 +112,7 @@ type jobView struct {
 	ID           string
 	Spec         JobSpec
 	Key          string
+	Tenant       string
 	Status       Status
 	Stats        metrics.Stats
 	ErrMsg       string
@@ -125,6 +132,7 @@ func (j *job) view() jobView {
 		ID:           j.id,
 		Spec:         j.spec,
 		Key:          j.key,
+		Tenant:       j.tenant,
 		Status:       j.status,
 		Stats:        j.stats,
 		ErrMsg:       j.errMsg,

@@ -29,6 +29,9 @@ type counters struct {
 
 	checkpointsExported atomic.Int64 // checkpoints served to a fleet coordinator
 	jobsImported        atomic.Int64 // jobs accepted with a shipped checkpoint
+
+	runDurSumNS atomic.Int64 // total wall-clock of completed runs, feeds Retry-After
+	runDurCount atomic.Int64 // number of completed runs
 }
 
 // latencyBuckets are the upper bounds of the wall-clock job-latency

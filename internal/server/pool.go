@@ -13,15 +13,20 @@ import (
 	"simdtree/internal/trace"
 )
 
-// startWorkers launches the pool.  Each worker drains the bounded queue
-// until it is closed by Shutdown.
+// startWorkers launches the pool.  Each worker pulls from the scheduler
+// (the stock FIFO or the traffic layer's fair queue) until it is closed
+// by Shutdown and drained.
 func (s *Server) startWorkers() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
-				s.runJob(j)
+			for {
+				it, ok := s.sched.Next()
+				if !ok {
+					return
+				}
+				s.runJob(it.job)
 			}
 		}()
 	}
@@ -68,6 +73,7 @@ func (s *Server) runJob(j *job) {
 	j.status = StatusRunning
 	j.started = started
 	j.mu.Unlock()
+	j.events.append(JobEvent{Type: EventStatus, Status: StatusRunning})
 	s.ctr.jobsRunning.Add(1)
 	s.ctr.busyWorkers.Add(1)
 	defer s.ctr.jobsRunning.Add(-1)
@@ -76,6 +82,8 @@ func (s *Server) runJob(j *job) {
 	stats, runErr := s.execute(ctx, j, opts)
 	latency := time.Since(started)
 	s.latencies.observe(j.spec.Scheme, latency)
+	s.ctr.runDurSumNS.Add(int64(latency))
+	s.ctr.runDurCount.Add(1)
 
 	switch {
 	case runErr == nil:
@@ -107,9 +115,20 @@ func (s *Server) cleanSpool(j *job, cause error) {
 
 // runEnv builds the checkpoint plumbing the runner sees: a spool-backed
 // writer under the job's cache key, the resume payload when the job was
-// recovered from the spool, and the counters both feed.
+// recovered from the spool, the counters both feed, and the progress
+// sinks that turn engine liveness ticks and checkpoint writes into job
+// events for the SSE stream.
 func (s *Server) runEnv(j *job) RunEnv {
 	env := RunEnv{}
+	if s.cfg.ProgressEvery > 0 {
+		env.ProgressEvery = s.cfg.ProgressEvery
+		env.Progress = func(info simd.ProgressInfo) {
+			j.events.append(JobEvent{
+				Type: EventProgress, Cycle: info.Cycles, Active: info.Active,
+				W: info.W, LBPhases: info.LBPhases,
+			})
+		}
+	}
 	if s.spool != nil {
 		spec, err := json.Marshal(j.spec)
 		if err != nil {
@@ -124,6 +143,9 @@ func (s *Server) runEnv(j *job) RunEnv {
 			}
 			s.ctr.checkpointsWritten.Add(1)
 			return nil
+		}
+		env.Checkpointed = func(cycle int) {
+			j.events.append(JobEvent{Type: EventCheckpoint, Cycle: cycle})
 		}
 	}
 	if j.resume != nil {
@@ -158,6 +180,10 @@ func (s *Server) finishJob(j *job, status Status, stats metrics.Stats, tr *trace
 	if !j.finish(status, stats, tr, errMsg, time.Now()) {
 		return
 	}
+	j.events.append(JobEvent{
+		Type: EventStatus, Status: status, Error: errMsg, Terminal: true,
+		Cycle: stats.Cycles, W: stats.W, LBPhases: stats.LBPhases,
+	})
 	switch status {
 	case StatusDone:
 		s.ctr.jobsDone.Add(1)

@@ -35,6 +35,15 @@ type RunEnv struct {
 	// OnResume reports the cycle the run restored at, before any new
 	// cycle executes.
 	OnResume func(cycle int)
+	// Progress, when non-nil, receives the engine's periodic liveness
+	// snapshots every ProgressEvery cycles (simd.Options.Progress); it
+	// feeds the job's SSE event stream.
+	Progress func(simd.ProgressInfo)
+	// ProgressEvery is the Progress cadence in cycles.
+	ProgressEvery int
+	// Checkpointed reports the cycle of each successfully persisted
+	// periodic checkpoint, after Write returned nil.
+	Checkpointed func(cycle int)
 }
 
 // Runner executes one canonical job spec on the simulated machine.  Extra
@@ -67,6 +76,36 @@ func runMachine[S any](ctx context.Context, d search.Domain[S], codec wire.Codec
 	if checkpointing {
 		opts.CheckpointEvery = env.CheckpointEvery
 	}
+	if env.Progress != nil && env.ProgressEvery > 0 {
+		if opts.Progress != nil && opts.ProgressEvery > 0 {
+			// The runner brought its own progress sink (test gates do
+			// this): compose rather than clobber.  The engine ticks at
+			// the finer cadence and each sink fires at its own, tracked
+			// by cycle distance because engine ticks land on multiples
+			// of the combined cadence, not of each sink's.
+			runnerSink, runnerEvery := opts.Progress, opts.ProgressEvery
+			envSink, envEvery := env.Progress, env.ProgressEvery
+			every := runnerEvery
+			if envEvery < every {
+				every = envEvery
+			}
+			lastRunner, lastEnv := 0, 0
+			opts.ProgressEvery = every
+			opts.Progress = func(pi simd.ProgressInfo) {
+				if pi.Cycles-lastRunner >= runnerEvery {
+					lastRunner = pi.Cycles
+					runnerSink(pi)
+				}
+				if pi.Cycles-lastEnv >= envEvery {
+					lastEnv = pi.Cycles
+					envSink(pi)
+				}
+			}
+		} else {
+			opts.Progress = env.Progress
+			opts.ProgressEvery = env.ProgressEvery
+		}
+	}
 	m, err := simd.NewMachine[S](d, sch, opts)
 	if err != nil {
 		return metrics.Stats{}, err
@@ -89,7 +128,13 @@ func runMachine[S any](ctx context.Context, d search.Domain[S], codec wire.Codec
 		if err != nil {
 			return err
 		}
-		return env.Write(b)
+		if err := env.Write(b); err != nil {
+			return err
+		}
+		if env.Checkpointed != nil {
+			env.Checkpointed(snap.Cycle)
+		}
+		return nil
 	}
 	if checkpointing {
 		m.OnCheckpoint(save)

@@ -59,6 +59,14 @@ type Config struct {
 	// node knows exactly how long to wait before declaring its jobs
 	// lost.
 	DrainTimeout time.Duration
+	// Scheduler overrides the admission/dispatch policy between
+	// submission and the worker pool; nil selects the stock bounded FIFO
+	// of QueueSize entries.  The traffic layer installs its per-tenant
+	// deficit-round-robin queue here.
+	Scheduler Scheduler
+	// ProgressEvery is the cycle cadence of per-job progress events (the
+	// SSE feed); default 250.  Negative disables progress events.
+	ProgressEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 250
+	}
 	return c
 }
 
@@ -106,8 +117,8 @@ type Server struct {
 	rootCtx  context.Context
 	rootStop context.CancelCauseFunc
 
-	mu       sync.Mutex // guards queue send vs close
-	queue    chan *job
+	mu       sync.Mutex // guards scheduler push vs close
+	sched    Scheduler
 	draining bool
 
 	nextID  atomic.Int64
@@ -130,6 +141,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	//lint:allow ctxflow server-lifetime root context, cancelled by Shutdown
 	rootCtx, rootStop := context.WithCancelCause(context.Background())
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = NewFIFOScheduler(cfg.QueueSize)
+	}
 	s := &Server{
 		cfg:       cfg,
 		runners:   runners,
@@ -139,7 +154,7 @@ func New(cfg Config) (*Server, error) {
 		latencies: newSchemeLatencies(),
 		rootCtx:   rootCtx,
 		rootStop:  rootStop,
-		queue:     make(chan *job, cfg.QueueSize),
+		sched:     sched,
 		started:   time.Now(),
 	}
 	if cfg.Spool != "" {
@@ -165,7 +180,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	already := s.draining
 	s.draining = true
 	if !already {
-		close(s.queue)
+		s.sched.Close()
 	}
 	s.mu.Unlock()
 
@@ -218,6 +233,7 @@ type jobResponse struct {
 	Status   Status  `json:"status"`
 	CacheKey string  `json:"cache_key"`
 	CacheHit bool    `json:"cache_hit,omitempty"`
+	Tenant   string  `json:"tenant,omitempty"`
 	Error    string  `json:"error,omitempty"`
 	Spec     JobSpec `json:"spec"`
 
@@ -243,6 +259,7 @@ func renderJob(v jobView) jobResponse {
 		Status:           v.Status,
 		CacheKey:         v.Key,
 		CacheHit:         v.CacheHit,
+		Tenant:           v.Tenant,
 		Error:            v.ErrMsg,
 		Spec:             v.Spec,
 		Resumed:          v.Resumed,
@@ -277,11 +294,14 @@ func newJob(s *Server, id string, canonical JobSpec, key string, now time.Time) 
 		id:        id,
 		spec:      canonical,
 		key:       key,
+		tenant:    DefaultTenant,
+		cost:      1,
 		runCtx:    runCtx,
 		cancel:    cancel,
 		status:    StatusQueued,
 		submitted: now,
 		done:      make(chan struct{}),
+		events:    newEventLog(),
 	}
 }
 
@@ -306,6 +326,10 @@ func (s *Server) finishFromCache(j *job, now time.Time) bool {
 	j.cancel(nil)
 	s.store.add(j)
 	s.ctr.jobsDone.Add(1)
+	j.events.append(JobEvent{
+		Type: EventStatus, Status: StatusDone, CacheHit: true, Terminal: true,
+		Cycle: res.Stats.Cycles, W: res.Stats.W, LBPhases: res.Stats.LBPhases,
+	})
 	return true
 }
 
@@ -320,23 +344,23 @@ func (s *Server) enqueue(j *job) (int, string) {
 		j.cancel(errShutdown)
 		return http.StatusServiceUnavailable, "server is shutting down"
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
+	if !s.sched.Push(SchedItem{Tenant: j.tenant, Cost: j.cost, job: j}) {
 		s.mu.Unlock()
 		j.cancel(errCancelRequested)
 		s.ctr.jobsRejected.Add(1)
 		return http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d jobs); retry later", s.cfg.QueueSize)
 	}
+	s.mu.Unlock()
 	s.ctr.jobsQueued.Add(1)
 	s.store.add(j)
+	j.events.append(JobEvent{Type: EventStatus, Status: StatusQueued})
 	return 0, ""
 }
 
 // handleSubmit implements POST /v1/jobs: canonicalize, consult the cache,
-// otherwise enqueue with backpressure.
+// otherwise enqueue with backpressure.  A 429 carries a Retry-After
+// derived from the backlog and the recent mean job duration.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -345,29 +369,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
 		return
 	}
+	tenant, err := TenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	canonical, err := Canonicalize(spec, s.domains)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := CacheKey(canonical)
-
-	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
-	now := time.Now()
-	j := newJob(s, id, canonical, key, now)
-
-	if s.finishFromCache(j, now) {
-		writeJSON(w, http.StatusOK, renderJob(j.view()))
+	h, refusal := s.SubmitCanonical(canonical, CacheKey(canonical), tenant, 1)
+	if refusal != nil {
+		refusal.apply(w)
 		return
 	}
-	if code, msg := s.enqueue(j); code != 0 {
-		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		writeError(w, code, msg)
+	if h.Terminal() {
+		writeJSON(w, http.StatusOK, renderJob(h.j.view()))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, renderJob(j.view()))
+	writeJSON(w, http.StatusAccepted, renderJob(h.j.view()))
 }
 
 // handleGet implements GET /v1/jobs/{id}.
@@ -572,7 +593,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheHits:           s.ctr.cacheHits.Load(),
 		CacheMisses:         s.ctr.cacheMisses.Load(),
 		CacheEntries:        s.cache.len(),
-		QueueDepth:          len(s.queue),
+		QueueDepth:          s.sched.Depth(),
 		QueueCapacity:       s.cfg.QueueSize,
 		Workers:             s.cfg.Workers,
 		BusyWorkers:         busy,

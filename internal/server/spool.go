@@ -144,15 +144,14 @@ func (s *Server) resumeSpooled() {
 			j.cancel(errShutdown)
 			return
 		}
-		select {
-		case s.queue <- j:
-			s.mu.Unlock()
-		default:
+		if !s.sched.Push(SchedItem{Tenant: j.tenant, Cost: j.cost, job: j}) {
 			s.mu.Unlock()
 			j.cancel(errShutdown)
 			continue
 		}
+		s.mu.Unlock()
 		s.ctr.jobsQueued.Add(1)
 		s.store.add(j)
+		j.events.append(JobEvent{Type: EventStatus, Status: StatusQueued})
 	}
 }

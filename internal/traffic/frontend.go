@@ -1,0 +1,483 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simdtree/internal/server"
+)
+
+// Config tunes the traffic frontend.  The zero value selects the
+// documented defaults.
+type Config struct {
+	// MaxBatch bounds the specs accepted by one POST /v1/jobs:batch
+	// request.  Default 64.
+	MaxBatch int
+	// TenantQuota bounds the jobs a single tenant may have outstanding
+	// (queued or running, collapsed flights counted once) through this
+	// frontend.  0 means unlimited.
+	TenantQuota int
+	// HeartbeatEvery is the SSE comment-heartbeat cadence.  Default 15s.
+	HeartbeatEvery time.Duration
+	// CostScale is the predicted node-expansion count worth one DRR cost
+	// unit for weighted admission.  Default DefaultCostScale.
+	CostScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 15 * time.Second
+	}
+	if c.CostScale <= 0 {
+		c.CostScale = DefaultCostScale
+	}
+	return c
+}
+
+// Frontend layers traffic management over a server.Server: single-flight
+// collapsing, batch admission, SSE progress streaming, cost estimation,
+// and per-tenant quotas.  Its Handler wraps the server's and owns the
+// routes it adds; everything else passes through untouched.
+type Frontend struct {
+	srv   *server.Server
+	inner http.Handler
+	drr   *DRR // nil when the server runs a different scheduler
+	cfg   Config
+
+	mu          sync.Mutex
+	flights     map[string]*flight
+	outstanding map[string]int // live non-collapsed jobs per tenant
+
+	ctr trafficCounters
+}
+
+type trafficCounters struct {
+	flights         atomic.Int64 // engine submissions that opened a flight
+	collapsed       atomic.Int64 // submissions that joined an existing flight
+	batches         atomic.Int64
+	batchJobs       atomic.Int64
+	quotaRejections atomic.Int64
+	sseStreams      atomic.Int64
+	sseResumes      atomic.Int64 // streams opened with a Last-Event-ID
+	estimates       atomic.Int64
+}
+
+// flight is one in-flight canonical spec: every concurrent identical
+// submission shares it, and at terminal every subscriber fans out the one
+// rendered response, byte for byte.  h is resolved before the flight is
+// published, so readers never observe a nil handle; bytes is written
+// exactly once before done closes.
+type flight struct {
+	key   string
+	h     *server.JobHandle
+	done  chan struct{}
+	bytes []byte
+}
+
+// New builds a Frontend over srv.  drr may be nil; when the DRR scheduler
+// is installed, passing it here surfaces per-tenant queue stats in
+// /metrics.
+func New(srv *server.Server, drr *DRR, cfg Config) *Frontend {
+	return &Frontend{
+		srv:         srv,
+		inner:       srv.Handler(),
+		drr:         drr,
+		cfg:         cfg.withDefaults(),
+		flights:     make(map[string]*flight),
+		outstanding: make(map[string]int),
+	}
+}
+
+// Handler returns the frontend's routing table: the traffic routes plus a
+// passthrough to the wrapped server for everything else.  POST /v1/jobs
+// is intercepted so single submissions collapse too.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", f.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", f.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", f.handleEvents)
+	mux.HandleFunc("POST /v1/estimate", f.handleEstimate)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.Handle("/", f.inner)
+	return mux
+}
+
+// admit runs one spec through quota, estimate, and the flight table.  On
+// success the returned flight is live (or already terminal); collapsed
+// reports whether it was shared rather than opened.  On refusal the
+// flight is nil.
+func (f *Frontend) admit(canonical server.JobSpec, key, tenant string) (fl *flight, collapsed bool, rf *server.Refusal) {
+	est := ForSpec(canonical)
+	cost := est.CostUnits(f.cfg.CostScale)
+
+	f.mu.Lock()
+	if fl := f.flights[key]; fl != nil {
+		f.mu.Unlock()
+		f.ctr.collapsed.Add(1)
+		return fl, true, nil
+	}
+	if q := f.cfg.TenantQuota; q > 0 && f.outstanding[tenant] >= q {
+		f.mu.Unlock()
+		f.ctr.quotaRejections.Add(1)
+		return nil, false, &server.Refusal{
+			Code:       http.StatusTooManyRequests,
+			Message:    fmt.Sprintf("tenant %q has %d jobs outstanding (quota %d)", tenant, q, q),
+			RetryAfter: 1,
+		}
+	}
+	h, rf := f.srv.SubmitCanonical(canonical, key, tenant, cost)
+	if rf != nil {
+		f.mu.Unlock()
+		return nil, false, rf
+	}
+	fl = &flight{key: key, h: h, done: make(chan struct{})}
+	f.flights[key] = fl
+	f.outstanding[tenant]++
+	f.ctr.flights.Add(1)
+	f.mu.Unlock()
+	go f.resolve(fl, tenant)
+	return fl, false, nil
+}
+
+// resolve waits out the flight's job, renders the terminal response once,
+// retires the flight from the table and releases the tenant's quota slot.
+// The bytes write happens before close(done), so every subscriber reading
+// after <-done sees the complete body.  The wait needs no context of its
+// own: the job's lifetime is bounded by the server (Shutdown cancels every
+// job), and the flight must outlive any one subscriber anyway.
+//
+//lint:allow ctxflow flight lifetime is bounded by the job, which server shutdown cancels
+func (f *Frontend) resolve(fl *flight, tenant string) {
+	<-fl.h.Done()
+	b, err := fl.h.ResponseBytes()
+	if err != nil {
+		b = []byte("{\"error\":\"failed to render job\"}\n")
+	}
+	fl.bytes = b
+	f.mu.Lock()
+	if f.flights[fl.key] == fl {
+		delete(f.flights, fl.key)
+	}
+	if f.outstanding[tenant]--; f.outstanding[tenant] <= 0 {
+		delete(f.outstanding, tenant)
+	}
+	f.mu.Unlock()
+	close(fl.done)
+}
+
+// collapsedHeader marks a response served by joining an existing flight.
+const collapsedHeader = "X-Collapsed"
+
+// handleSubmit implements POST /v1/jobs with single-flight collapsing.
+// With ?wait=1 the response is deferred to the flight's terminal body, so
+// all collapsed waiters receive byte-identical documents; without it the
+// behaviour matches the wrapped server's 202/200 contract, plus the
+// X-Collapsed marker.
+func (f *Frontend) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	tenant, err := server.TenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	canonical, err := f.srv.CanonicalizeSpec(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fl, collapsed, rf := f.admit(canonical, server.CacheKey(canonical), tenant)
+	if rf != nil {
+		applyRefusal(w, rf)
+		return
+	}
+	if collapsed {
+		w.Header().Set(collapsedHeader, "1")
+	}
+	if wantWait(r) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-fl.done:
+		}
+		writeRaw(w, http.StatusOK, fl.bytes)
+		return
+	}
+	writeHandle(w, fl.h)
+}
+
+// writeHandle renders the job's current document with the server's
+// 200-when-terminal / 202-while-pending status contract.
+func writeHandle(w http.ResponseWriter, h *server.JobHandle) {
+	code := http.StatusAccepted
+	if h.Terminal() {
+		code = http.StatusOK
+	}
+	b, err := h.ResponseBytes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "failed to render job")
+		return
+	}
+	writeRaw(w, code, b)
+}
+
+// batchRequest is the POST /v1/jobs:batch body.
+type batchRequest struct {
+	Jobs []server.JobSpec `json:"jobs"`
+	// Wait defers the response until every admitted job is terminal and
+	// inlines each full document.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// batchItem is one per-spec verdict, in input order.
+type batchItem struct {
+	Index      int             `json:"index"`
+	Code       int             `json:"code"`
+	Error      string          `json:"error,omitempty"`
+	ID         string          `json:"id,omitempty"`
+	Key        string          `json:"key,omitempty"`
+	Status     server.Status   `json:"status,omitempty"`
+	CacheHit   bool            `json:"cache_hit,omitempty"`
+	Collapsed  bool            `json:"collapsed,omitempty"`
+	RetryAfter int             `json:"retry_after,omitempty"`
+	Job        json.RawMessage `json:"job,omitempty"`
+
+	fl *flight
+}
+
+// batchResponse is the POST /v1/jobs:batch reply: per-item verdicts plus
+// the tallies a load generator wants without re-counting.
+type batchResponse struct {
+	Accepted  int         `json:"accepted"`
+	Rejected  int         `json:"rejected"`
+	Collapsed int         `json:"collapsed"`
+	Items     []batchItem `json:"items"`
+}
+
+// handleBatch implements POST /v1/jobs:batch: up to MaxBatch specs
+// admitted independently, one verdict each, always answered 200 — item
+// codes carry the per-spec outcome, exactly as if each had been POSTed
+// alone.
+func (f *Frontend) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad batch: %v", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch carries no jobs")
+		return
+	}
+	if len(req.Jobs) > f.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-job limit", len(req.Jobs), f.cfg.MaxBatch))
+		return
+	}
+	tenant, err := server.TenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f.ctr.batches.Add(1)
+	f.ctr.batchJobs.Add(int64(len(req.Jobs)))
+
+	resp := batchResponse{Items: make([]batchItem, len(req.Jobs))}
+	for i, spec := range req.Jobs {
+		it := &resp.Items[i]
+		it.Index = i
+		canonical, err := f.srv.CanonicalizeSpec(spec)
+		if err != nil {
+			it.Code = http.StatusBadRequest
+			it.Error = err.Error()
+			resp.Rejected++
+			continue
+		}
+		fl, collapsed, rf := f.admit(canonical, server.CacheKey(canonical), tenant)
+		if rf != nil {
+			it.Code = rf.Code
+			it.Error = rf.Message
+			it.RetryAfter = rf.RetryAfter
+			resp.Rejected++
+			continue
+		}
+		it.fl = fl
+		it.ID = fl.h.ID()
+		it.Key = fl.h.Key()
+		it.Status = fl.h.Status()
+		it.CacheHit = fl.h.CacheHit()
+		it.Collapsed = collapsed
+		it.Code = http.StatusAccepted
+		if fl.h.Terminal() {
+			it.Code = http.StatusOK
+		}
+		resp.Accepted++
+		if collapsed {
+			resp.Collapsed++
+		}
+	}
+	if req.Wait {
+		for i := range resp.Items {
+			it := &resp.Items[i]
+			if it.fl == nil {
+				continue
+			}
+			select {
+			case <-r.Context().Done():
+				writeError(w, http.StatusRequestTimeout, "client went away mid-batch")
+				return
+			case <-it.fl.done:
+			}
+			it.Code = http.StatusOK
+			it.Status = it.fl.h.Status()
+			it.Job = json.RawMessage(it.fl.bytes)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// estimateResponse is the POST /v1/estimate reply.
+type estimateResponse struct {
+	Domain          string  `json:"domain"`
+	Scheme          string  `json:"scheme"`
+	P               int     `json:"p"`
+	Topology        string  `json:"topology"`
+	PredictedW      float64 `json:"predicted_w"`
+	PredictedCycles float64 `json:"predicted_cycles"`
+	ModelEfficiency float64 `json:"model_efficiency"`
+	CostUnits       float64 `json:"cost_units"`
+	Exact           bool    `json:"exact"`
+	BudgetCapped    bool    `json:"budget_capped,omitempty"`
+}
+
+// handleEstimate implements POST /v1/estimate: price a spec with the
+// paper's efficiency model without running anything.  The same estimate
+// weights the DRR dequeue at admission.
+func (f *Frontend) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	canonical, err := f.srv.CanonicalizeSpec(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f.ctr.estimates.Add(1)
+	est := ForSpec(canonical)
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Domain:          canonical.Domain,
+		Scheme:          canonical.Scheme,
+		P:               canonical.P,
+		Topology:        canonical.Topology,
+		PredictedW:      est.W,
+		PredictedCycles: est.Cycles,
+		ModelEfficiency: est.Efficiency,
+		CostUnits:       est.CostUnits(f.cfg.CostScale),
+		Exact:           est.Exact,
+		BudgetCapped:    est.BudgetCapped,
+	})
+}
+
+// handleMetrics merges the traffic layer's counters into the wrapped
+// server's /metrics document, preserving every existing field.
+func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rec := newRecorder()
+	f.inner.ServeHTTP(rec, r)
+	var doc map[string]any
+	if rec.code != http.StatusOK || json.Unmarshal(rec.body, &doc) != nil {
+		writeRaw(w, rec.code, rec.body)
+		return
+	}
+	doc["traffic_flights_total"] = f.ctr.flights.Load()
+	doc["traffic_collapsed_total"] = f.ctr.collapsed.Load()
+	doc["traffic_batches_total"] = f.ctr.batches.Load()
+	doc["traffic_batch_jobs_total"] = f.ctr.batchJobs.Load()
+	doc["traffic_quota_rejections_total"] = f.ctr.quotaRejections.Load()
+	doc["traffic_sse_streams_total"] = f.ctr.sseStreams.Load()
+	doc["traffic_sse_resumes_total"] = f.ctr.sseResumes.Load()
+	doc["traffic_estimates_total"] = f.ctr.estimates.Load()
+	f.mu.Lock()
+	doc["traffic_flights_open"] = len(f.flights)
+	f.mu.Unlock()
+	if f.drr != nil {
+		doc["traffic_tenants"] = f.drr.Stats()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// recorder is a minimal in-memory ResponseWriter for re-serving the inner
+// handler's output.
+type recorder struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func newRecorder() *recorder {
+	return &recorder{header: make(http.Header), code: http.StatusOK}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) { r.code = code }
+
+func (r *recorder) Write(b []byte) (int, error) {
+	r.body = append(r.body, b...)
+	return len(b), nil
+}
+
+// wantWait reports whether the request asked for a synchronous terminal
+// response.
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func applyRefusal(w http.ResponseWriter, rf *server.Refusal) {
+	if rf.Code == http.StatusTooManyRequests && rf.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(rf.RetryAfter))
+	}
+	writeError(w, rf.Code, rf.Message)
+}
+
+// writeRaw writes pre-rendered JSON bytes unmodified — the collapse
+// fan-out path, where byte identity is the contract.
+func writeRaw(w http.ResponseWriter, code int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(b) //lint:allow errdrop response writer errors are unreportable
+}
+
+// writeJSON mirrors the server's encoding (indented, trailing newline).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) //lint:allow errdrop response writer errors are unreportable
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handleEvents implements GET /v1/jobs/{id}/events: the job's progress
+// stream (status transitions, engine liveness ticks, checkpoint writes)
+// as Server-Sent Events.  Each event carries its sequence number as the
+// SSE id, so a client that reconnects with Last-Event-ID resumes where
+// its stream broke; comment heartbeats keep idle connections alive
+// through proxies.  The stream ends after the terminal event, or when the
+// client goes away.
+func (f *Frontend) handleEvents(w http.ResponseWriter, r *http.Request) {
+	h, ok := f.srv.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	after, err := lastEventID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f.ctr.sseStreams.Add(1)
+	if after > 0 {
+		f.ctr.sseResumes.Add(1)
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	ctx := r.Context()
+	heartbeat := time.NewTicker(f.cfg.HeartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		events, wake := h.EventsSince(after)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			after = ev.Seq
+			if ev.Terminal {
+				_ = rc.Flush() //lint:allow errdrop the stream is over either way
+				return
+			}
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-wake:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// lastEventID extracts the resume point: the standard Last-Event-ID
+// header a reconnecting EventSource sends, or the ?last_event_id= query
+// parameter for clients that cannot set headers.  0 streams from the
+// beginning of the retained log.
+func lastEventID(r *http.Request) (int64, error) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad Last-Event-ID %q", raw)
+	}
+	return id, nil
+}
