@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test -run=xxx -fuzz FuzzDecodeNode -fuzztime 15s ./internal/wire
 	$(GO) test -run=xxx -fuzz FuzzFromTiles -fuzztime 15s ./internal/puzzle
 	$(GO) test -run=xxx -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/checkpoint
+	$(GO) test -run=xxx -fuzz FuzzDecodeStealFrame -fuzztime 30s ./internal/steal
 
 vet:
 	$(GO) vet ./...
@@ -70,12 +71,18 @@ fmt:
 serve:
 	$(GO) run ./cmd/simdserve
 
-# Run a local fleet: coordinator on :18080 fronting three spooled nodes
-# on :18081-:18083 (see DESIGN.md section 12).  Ctrl-C tears it down.
+# Run a local fleet: coordinator on :18080 fronting FLEET_NODES spooled
+# nodes on consecutive ports from FLEET_BASE_PORT (defaults 3 nodes on
+# :18081-:18083; see DESIGN.md sections 12 and 15).  FLEET_STEAL=5s turns
+# on cross-node work stealing.  Ctrl-C tears it down.
+FLEET_NODES ?= 3
+FLEET_BASE_PORT ?= 18081
+FLEET_STEAL ?=
+
 fleet:
 	$(GO) build -o bin/simdserve ./cmd/simdserve
 	$(GO) build -o bin/simdfleet ./cmd/simdfleet
-	./scripts/fleet.sh
+	./scripts/fleet.sh -n $(FLEET_NODES) -p $(FLEET_BASE_PORT) $(if $(FLEET_STEAL),-s $(FLEET_STEAL))
 
 # Traffic-layer load smoke: simdload drives an in-process frontend for a
 # few seconds and regenerates the BENCH_1.json report (jobs/sec, latency

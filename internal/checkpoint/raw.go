@@ -1,0 +1,170 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"simdtree/internal/metrics"
+	"simdtree/internal/trace"
+)
+
+// RawSnapshot is a codec-erased simd.Snapshot: the per-PE stacks are kept
+// as their wire payloads instead of decoded node values.  It is the
+// coordinator-side view of a distributed run — the coordinator assembles
+// and ships checkpoints for jobs whose node type it never links — and
+// EncodeRaw/DecodeRaw are exact byte-level duals of Encode/Decode: a
+// checkpoint encoded raw from payloads that wire-encode the same stacks
+// is byte-identical to the generic encoding, and decoding raw then
+// re-encoding reproduces the input.
+type RawSnapshot struct {
+	// Cycle is the number of completed expansion cycles (== Stats.Cycles).
+	Cycle int
+	// InitDone reports the initial-distribution phase has completed.
+	InitDone bool
+	// Stacks holds one wire.EncodeStack payload per PE.
+	Stacks [][]byte
+	// MatcherPointer is the GP global pointer (-1 when parked).
+	MatcherPointer int
+
+	// Search-phase accumulators since the last load-balancing phase.
+	PhaseCycles  int
+	PhaseElapsed time.Duration
+	PhaseWork    time.Duration
+	PhaseIdle    time.Duration
+	// EstLB is L, the projected cost of the next balancing phase.
+	EstLB time.Duration
+
+	// Stats are the cumulative aggregates of the prefix.
+	Stats metrics.Stats
+
+	// DomainState is the opaque payload of a stateful domain; nil for
+	// stateless ones.
+	DomainState []byte
+
+	// Trace is the recorded prefix trace; nil when the run is untraced.
+	Trace *trace.Trace
+}
+
+// EncodeRaw serialises a raw snapshot in the exact SCKP layout of Encode.
+// Unlike Encode it cannot derive meta.Codec, so the caller must supply the
+// codec name of the stack payloads (normally carried over from the
+// checkpoint the payloads were sourced from).  IDA* state has no raw form;
+// distributed runs operate within one cost-bounded iteration.
+func EncodeRaw(meta Meta, snap *RawSnapshot) ([]byte, error) {
+	if snap == nil {
+		return nil, errors.New("checkpoint: nil snapshot")
+	}
+	if meta.Codec == "" {
+		return nil, errors.New("checkpoint: raw encode requires meta.Codec")
+	}
+	meta.P = len(snap.Stacks)
+	if meta.P == 0 || meta.P > maxP {
+		return nil, fmt.Errorf("checkpoint: snapshot has %d stacks", meta.P)
+	}
+	for i, payload := range snap.Stacks {
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("checkpoint: stack %d has an empty payload", i)
+		}
+	}
+	var w writer
+	w.raw(Magic)
+	w.byte(Version)
+	w.str(meta.Domain)
+	w.str(meta.Scheme)
+	w.str(meta.Topology)
+	w.str(meta.Codec)
+	w.uvarint(uint64(meta.P))
+	w.blob(meta.Extra)
+
+	var flags byte
+	if snap.InitDone {
+		flags |= flagInitDone
+	}
+	if len(snap.DomainState) > 0 {
+		flags |= flagDomainState
+	}
+	if snap.Trace != nil {
+		flags |= flagTrace
+	}
+	w.byte(flags)
+	w.uvarint(uint64(snap.Cycle))
+	w.varint(int64(snap.MatcherPointer))
+	w.uvarint(uint64(snap.PhaseCycles))
+	w.varint(int64(snap.PhaseElapsed))
+	w.varint(int64(snap.PhaseWork))
+	w.varint(int64(snap.PhaseIdle))
+	w.varint(int64(snap.EstLB))
+	w.stats(snap.Stats)
+	if len(snap.DomainState) > 0 {
+		w.blob(snap.DomainState)
+	}
+	for _, payload := range snap.Stacks {
+		w.blob(payload)
+	}
+	if snap.Trace != nil {
+		w.trace(snap.Trace)
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(w.buf))
+	return w.buf, nil
+}
+
+// DecodeRaw parses a checkpoint without decoding the stack payloads, which
+// stay as opaque wire encodings (structurally validated only when a shard
+// machine installs them).  It rejects IDA* checkpoints: their iteration
+// state has no raw form.
+func DecodeRaw(b []byte) (Meta, *RawSnapshot, error) {
+	meta, r, err := header(b)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	snap := &RawSnapshot{}
+	flags := r.byte()
+	if flags&^flagAll != 0 {
+		return Meta{}, nil, fmt.Errorf("%w: unknown flag bits %#x", ErrCorrupt, flags&^flagAll)
+	}
+	if flags&flagIDA != 0 {
+		return Meta{}, nil, fmt.Errorf("%w: IDA* checkpoints have no raw decoding", ErrCorrupt)
+	}
+	snap.InitDone = flags&flagInitDone != 0
+	snap.Cycle = r.count("cycle")
+	snap.MatcherPointer = r.int("matcher pointer")
+	snap.PhaseCycles = r.count("phase cycles")
+	snap.PhaseElapsed = r.duration()
+	snap.PhaseWork = r.duration()
+	snap.PhaseIdle = r.duration()
+	snap.EstLB = r.duration()
+	snap.Stats = r.stats()
+	if flags&flagDomainState != 0 {
+		snap.DomainState = r.blob()
+		if r.err == nil && snap.DomainState == nil {
+			r.fail(fmt.Errorf("%w: domain-state flag set on empty payload", ErrCorrupt))
+		}
+	}
+	snap.Stacks = make([][]byte, 0, meta.P)
+	for i := 0; i < meta.P; i++ {
+		payload := r.blob()
+		if r.err != nil {
+			break
+		}
+		if len(payload) == 0 {
+			return Meta{}, nil, fmt.Errorf("%w: stack %d has an empty payload", ErrCorrupt, i)
+		}
+		snap.Stacks = append(snap.Stacks, payload)
+	}
+	if flags&flagTrace != 0 {
+		snap.Trace = r.trace()
+	}
+	if r.err != nil {
+		return Meta{}, nil, r.err
+	}
+	if r.remaining() != 0 {
+		return Meta{}, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	if snap.MatcherPointer < -1 || snap.MatcherPointer >= meta.P {
+		return Meta{}, nil, fmt.Errorf("%w: matcher pointer %d out of range for P=%d", ErrCorrupt, snap.MatcherPointer, meta.P)
+	}
+	return meta, snap, nil
+}

@@ -31,6 +31,7 @@ type fleetJobResponse struct {
 	Node        string          `json:"node"`
 	NodeJobID   string          `json:"node_job_id"`
 	Status      string          `json:"status"`
+	Distributed bool            `json:"distributed,omitempty"`
 	Overflow    bool            `json:"overflow,omitempty"`
 	Failovers   int             `json:"failovers,omitempty"`
 	Resumed     bool            `json:"resumed_by_failover,omitempty"`
@@ -46,6 +47,7 @@ func renderFleetJob(v fleetJobView, raw json.RawMessage) fleetJobResponse {
 		Node:        v.Node,
 		NodeJobID:   v.NodeJobID,
 		Status:      v.Status,
+		Distributed: v.Distributed,
 		Overflow:    v.Overflow,
 		Failovers:   v.Failovers,
 		Resumed:     v.Resumed,
@@ -147,6 +149,11 @@ func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
+	if d := f.distRun(); d != nil {
+		// A distributed run's merged document lives on the coordinator.
+		writeJSON(w, http.StatusOK, renderFleetJob(f.snapshot(), d.document()))
+		return
+	}
 	f.mu.Lock()
 	node, nodeJobID := f.node, f.nodeJobID
 	f.mu.Unlock()
@@ -170,6 +177,17 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	f, ok := c.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	if d := f.distRun(); d != nil {
+		// Cancel the coordinator-driven run; the donor keeps its spooled
+		// cancel checkpoint, exactly like a node-side cancel.
+		d.cancel(errStealCancelled)
+		select {
+		case <-d.done:
+		case <-r.Context().Done():
+		}
+		writeJSON(w, http.StatusOK, renderFleetJob(f.snapshot(), d.document()))
 		return
 	}
 	f.mu.Lock()
@@ -211,6 +229,10 @@ func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
 	f, ok := c.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	if d := f.distRun(); d != nil {
+		c.serveDistTrace(w, r, f, d)
 		return
 	}
 	f.mu.Lock()
@@ -266,6 +288,11 @@ type fleetNodeJSON struct {
 	Failures       int     `json:"failures"`
 	DrainTimeoutMS int64   `json:"drain_timeout_ms"`
 	LastSeenAgeSec float64 `json:"last_seen_age_seconds,omitempty"`
+	// ScrapedAgoMS is the age of the last queue-gauge scrape, -1 when the
+	// node has never been scraped.  Overflow spill and steal receiver
+	// selection both skip nodes whose scrape is older than one probe
+	// interval — routing on stale depth is how herds form.
+	ScrapedAgoMS int64 `json:"scraped_ago_ms"`
 }
 
 // handleFleet implements GET /fleet: the membership, health and routing
@@ -286,12 +313,38 @@ func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
 			QueueCapacity:  n.queueCap,
 			Failures:       n.failures,
 			DrainTimeoutMS: n.drain.Milliseconds(),
+			ScrapedAgoMS:   -1,
 		}
 		if !n.lastSeen.IsZero() {
 			row.LastSeenAgeSec = now.Sub(n.lastSeen).Seconds()
 		}
+		if !n.scraped.IsZero() {
+			row.ScrapedAgoMS = now.Sub(n.scraped).Milliseconds()
+		}
 		n.mu.Unlock()
 		nodes = append(nodes, row)
+	}
+	type stealJobJSON struct {
+		ID             string      `json:"id"`
+		Status         string      `json:"status"`
+		Shards         []shardProv `json:"shards"`
+		Donations      int         `json:"donations"`
+		LocalTransfers int         `json:"local_transfers"`
+	}
+	stealJobs := make([]stealJobJSON, 0)
+	for _, f := range c.jobs.all() {
+		d := f.distRun()
+		if d == nil {
+			continue
+		}
+		status, _, _, donations, locals, _ := d.view()
+		stealJobs = append(stealJobs, stealJobJSON{
+			ID:             d.id,
+			Status:         status,
+			Shards:         d.shards,
+			Donations:      donations,
+			LocalTransfers: locals,
+		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes": nodes,
@@ -300,6 +353,10 @@ func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
 			"points":   len(c.ring.points),
 		},
 		"gp_pointer": c.gp.Pointer(),
+		"steal": map[string]any{
+			"pointer": c.stealGP.Pointer(),
+			"jobs":    stealJobs,
+		},
 	})
 }
 
@@ -318,6 +375,11 @@ type fleetMetrics struct {
 	ProbeFailures     int64   `json:"probe_failures_total"`
 	NodesEjected      int64   `json:"nodes_ejected_total"`
 	NodesReadmitted   int64   `json:"nodes_readmitted_total"`
+	JobsStolen        int64   `json:"jobs_stolen_total"`
+	StealCompleted    int64   `json:"steal_runs_completed_total"`
+	StealFailed       int64   `json:"steal_runs_failed_total"`
+	StealDonations    int64   `json:"steal_donations_total"`
+	StealLocal        int64   `json:"steal_local_transfers_total"`
 }
 
 // handleMetrics implements GET /metrics.
@@ -342,6 +404,11 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ProbeFailures:     c.ctr.probeFailures.Load(),
 		NodesEjected:      c.ctr.nodesEjected.Load(),
 		NodesReadmitted:   c.ctr.nodesReadmitted.Load(),
+		JobsStolen:        c.ctr.jobsStolen.Load(),
+		StealCompleted:    c.ctr.stealCompleted.Load(),
+		StealFailed:       c.ctr.stealFailed.Load(),
+		StealDonations:    c.ctr.stealDonations.Load(),
+		StealLocal:        c.ctr.stealLocal.Load(),
 	})
 }
 

@@ -53,6 +53,15 @@ type Config struct {
 	// SyncInterval is the job-status/checkpoint-pull cadence; 0
 	// disables the background loop (tests drive SyncOnce explicitly).
 	SyncInterval time.Duration
+	// StealInterval is the work-stealing sweep cadence: on each tick the
+	// coordinator looks for one running stealable job and a fresh
+	// underloaded receiver node, and converts the job into a distributed
+	// sharded run (steal.Driver over per-node shard sessions).  0 disables
+	// the steal controller (tests drive StealOnce explicitly).
+	StealInterval time.Duration
+	// StealShards is the number of shards a stolen job is split across,
+	// the donor node keeping shard 0 (default 2).
+	StealShards int
 	// BackoffMax caps the exponential probe backoff for an unreachable
 	// node (default 30s).
 	BackoffMax time.Duration
@@ -79,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.StealShards <= 0 {
+		c.StealShards = 2
+	}
 	return c
 }
 
@@ -87,9 +99,15 @@ var errNoNodes = errors.New("cluster: no healthy node available")
 
 // Coordinator fronts a fleet of simdserve nodes.
 type Coordinator struct {
-	cfg     Config
-	ring    *Ring
-	gp      *GPSelector
+	cfg  Config
+	ring *Ring
+	gp   *GPSelector
+	// stealGP is the steal controller's own rotating pointer over the node
+	// list, picking receiver nodes for stolen shards.  It is separate from
+	// the overflow pointer so stealing and overflow spill rotate
+	// independently, but obeys the same invariant: no eligible node is
+	// re-targeted before the pointer wraps.
+	stealGP *GPSelector
 	domains map[string]bool
 	client  *http.Client
 	// stream is the client for long-lived SSE proxying: no overall
@@ -125,6 +143,11 @@ type fleetCounters struct {
 	jobsFailedOver    atomic.Int64 // jobs re-dispatched after a node death
 	failoverResumed   atomic.Int64 // ...of which resumed from a shipped checkpoint
 	checkpointsPulled atomic.Int64 // warm checkpoint copies fetched from nodes
+	jobsStolen        atomic.Int64 // jobs converted into distributed sharded runs
+	stealCompleted    atomic.Int64 // distributed runs that finished cleanly
+	stealFailed       atomic.Int64 // distributed runs that aborted
+	stealDonations    atomic.Int64 // cross-node stack-segment frames shipped
+	stealLocal        atomic.Int64 // matched transfers that stayed within one shard
 	probes            atomic.Int64
 	probeFailures     atomic.Int64
 	nodesEjected      atomic.Int64
@@ -167,6 +190,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:      cfg,
 		ring:     ring,
 		gp:       NewGPSelector(order),
+		stealGP:  NewGPSelector(order),
 		domains:  domains,
 		client:   &http.Client{Timeout: cfg.RequestTimeout},
 		stream:   &http.Client{},
@@ -185,6 +209,12 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.SyncInterval > 0 {
 		c.wg.Add(1)
 		go c.loop(cfg.SyncInterval, c.SyncOnce)
+	}
+	if cfg.StealInterval > 0 {
+		c.wg.Add(1)
+		go c.loop(cfg.StealInterval, func(ctx context.Context) {
+			_, _ = c.StealOnce(ctx) //lint:allow errdrop per-job errors are recorded on the fleet job
+		})
 	}
 	return c, nil
 }
@@ -244,6 +274,25 @@ func (c *Coordinator) depth(url string) int {
 	return n.currentDepth()
 }
 
+// fresh reports whether url's last queue-gauge scrape is recent enough to
+// trust for placement decisions: no older than one probe interval.  A
+// stale scrape means the depth could hide a pile-up that built since, so
+// overflow spill and steal placement skip the node.  With the background
+// prober disabled (ProbeInterval 0, tests drive ProbeOnce explicitly)
+// every scrape counts as fresh.
+func (c *Coordinator) fresh(url string) bool {
+	if c.cfg.ProbeInterval <= 0 {
+		return true
+	}
+	n, ok := c.nodeByURL(url)
+	if !ok {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.scraped.IsZero() && time.Since(n.scraped) <= c.cfg.ProbeInterval
+}
+
 // route picks the node for a cache key: the ring home unless its queue
 // depth exceeds the overflow threshold, in which case the GP pointer
 // selects the next underloaded routable node (never re-targeting one
@@ -255,7 +304,7 @@ func (c *Coordinator) route(key string) (string, bool, error) {
 	}
 	if c.depth(home) > c.cfg.OverflowDepth {
 		alt, ok := c.gp.Pick(func(u string) bool {
-			return u != home && c.routable(u) && c.depth(u) <= c.cfg.OverflowDepth
+			return u != home && c.routable(u) && c.fresh(u) && c.depth(u) <= c.cfg.OverflowDepth
 		})
 		if ok {
 			return alt, true, nil

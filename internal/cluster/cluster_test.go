@@ -24,19 +24,27 @@ import (
 // name only the test nodes serve.
 const fleetSpec = `{"domain":"fleetsim","scheme":"GP-DK","p":8}`
 
-// fleetRunner executes the fixed synthetic instance through the full
+// fleetRunner executes a synthetic instance through the full
 // checkpointable path — build, restore-if-resuming, periodic checkpoint
 // sink, final checkpoint on cancellation — using only the server
 // package's exported surface, so the cluster tests exercise exactly the
-// plumbing the built-in domains use.  gate, when non-nil, is called at
-// every cycle boundary with the run context and may block on it; that
-// is how the kill test holds a job mid-flight deterministically and
-// releases it the instant the node's shutdown cancels the run.
+// plumbing the built-in domains use.  A spec carrying a synthetic block
+// selects that instance (matching the built-in synthetic runner's
+// construction exactly, which the steal test's byte-identity check
+// relies on); without one the fixed 20000/7 instance runs.  gate, when
+// non-nil, is called at every cycle boundary with the run context and
+// may block on it; that is how the kill and steal tests hold a job
+// mid-flight deterministically and release it the instant a shutdown or
+// donation cancels the run.
 func fleetRunner(gate func(ctx context.Context, cycle int)) server.Runner {
 	return func(ctx context.Context, spec server.JobSpec, opts simd.Options, env server.RunEnv) (metrics.Stats, error) {
 		if gate != nil {
 			opts.ProgressEvery = 1
 			opts.Progress = func(pi simd.ProgressInfo) { gate(ctx, pi.Cycles) }
+		}
+		w, seed := int64(20000), uint64(7)
+		if spec.Synthetic != nil {
+			w, seed = spec.Synthetic.W, spec.Synthetic.Seed
 		}
 		codec := wire.SyntheticCodec{}
 		sch, err := simd.ParseScheme[synthetic.Node](spec.Scheme)
@@ -47,7 +55,7 @@ func fleetRunner(gate func(ctx context.Context, cycle int)) server.Runner {
 		if checkpointing {
 			opts.CheckpointEvery = env.CheckpointEvery
 		}
-		m, err := simd.NewMachine[synthetic.Node](synthetic.New(20000, 7), sch, opts)
+		m, err := simd.NewMachine[synthetic.Node](synthetic.New(w, seed), sch, opts)
 		if err != nil {
 			return metrics.Stats{}, err
 		}

@@ -20,8 +20,12 @@ func (c *Coordinator) SyncOnce(ctx context.Context) {
 	for _, f := range c.jobs.all() {
 		f.mu.Lock()
 		terminal, node, nodeJobID := f.terminal, f.node, f.nodeJobID
+		dist := f.dist != nil
 		f.mu.Unlock()
-		if terminal || node == "" {
+		if terminal || node == "" || dist {
+			// A distributed run is coordinator-driven: its status lives
+			// here, and the steal driver ships its own checkpoints to the
+			// donor's spool.
 			continue
 		}
 		body, code, err := c.getJSONBody(ctx, node+"/v1/jobs/"+nodeJobID)
@@ -82,10 +86,13 @@ func (c *Coordinator) pullCheckpoint(ctx context.Context, f *fleetJob, node, nod
 func (c *Coordinator) failover(ctx context.Context, dead string) {
 	for _, f := range c.jobs.all() {
 		f.mu.Lock()
-		owned := !f.terminal && f.node == dead
+		owned := !f.terminal && f.node == dead && f.dist == nil
 		ckpt := f.ckpt
 		f.mu.Unlock()
 		if !owned {
+			// Distributed runs recover through the steal driver's own
+			// failure path (re-import of the last assembled checkpoint),
+			// not through node failover.
 			continue
 		}
 		target, ok := c.ring.Lookup(f.key, func(u string) bool {

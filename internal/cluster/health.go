@@ -41,6 +41,7 @@ type node struct {
 	drain         time.Duration // node-advertised drain deadline (/version)
 	queueDepth    int           // last scraped queue_depth
 	queueCap      int           // last scraped queue_capacity
+	scraped       time.Time     // when the queue gauges were last scraped
 	lastSeen      time.Time     // last successful probe
 }
 
@@ -159,6 +160,7 @@ func (c *Coordinator) markHealthy(ctx context.Context, n *node, now time.Time) {
 			n.mu.Lock()
 			n.queueDepth = m.QueueDepth
 			n.queueCap = m.QueueCapacity
+			n.scraped = time.Now()
 			n.mu.Unlock()
 		}
 	}

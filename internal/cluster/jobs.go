@@ -15,12 +15,21 @@ type fleetJob struct {
 	nodeJobID   string // job id on the owning node
 	status      string // last observed node-side status
 	terminal    bool
-	overflow    bool   // was GP-routed away from its ring home
-	failovers   int    // times re-dispatched after a node death
-	resumed     bool   // last dispatch resumed from a shipped checkpoint
-	unreachable bool   // last proxy attempt failed
-	lastErr     string // last coordination error (e.g. failed failover)
-	ckpt        []byte // latest pulled checkpoint, nil before the first pull
+	overflow    bool     // was GP-routed away from its ring home
+	failovers   int      // times re-dispatched after a node death
+	resumed     bool     // last dispatch resumed from a shipped checkpoint
+	unreachable bool     // last proxy attempt failed
+	lastErr     string   // last coordination error (e.g. failed failover)
+	ckpt        []byte   // latest pulled checkpoint, nil before the first pull
+	dist        *distRun // non-nil once the job was stolen into a sharded run
+}
+
+// distRun returns the job's distributed-run state, nil for ordinary
+// node-owned jobs.
+func (f *fleetJob) distRun() *distRun {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dist
 }
 
 // place records a (re)dispatch to a node.
@@ -65,6 +74,7 @@ func (f *fleetJob) snapshot() fleetJobView {
 		Unreachable: f.unreachable,
 		LastErr:     f.lastErr,
 		HasCkpt:     f.ckpt != nil,
+		Distributed: f.dist != nil,
 	}
 }
 
@@ -81,6 +91,7 @@ type fleetJobView struct {
 	Unreachable bool
 	LastErr     string
 	HasCkpt     bool
+	Distributed bool
 }
 
 // terminalStatus mirrors the node-side terminal set (server.Status).

@@ -1,0 +1,582 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"simdtree/internal/checkpoint"
+	"simdtree/internal/metrics"
+	"simdtree/internal/server"
+	"simdtree/internal/simd"
+	"simdtree/internal/steal"
+	"simdtree/internal/topology"
+	"simdtree/internal/trace"
+)
+
+// The steal controller: the paper's work-stealing idea applied across
+// nodes.  Where a single machine's LB phase moves stack segments between
+// PEs, the controller moves a whole job onto several nodes at once: it
+// donates the running job off its node as an exact-prefix checkpoint,
+// re-opens the checkpoint as shard sessions over disjoint PE ranges (the
+// donor keeps shard 0, receivers picked by the cluster-wide GP pointer
+// take the rest), and drives them in lock-step with steal.Driver.  Every
+// global decision in the driven run is a function of globally reduced
+// scalars, so the distributed schedule — and therefore the merged stats,
+// trace and checkpoints — is byte-identical to the single-node run the
+// job would have had.
+//
+// Failure handling leans on the same checkpoint: the driver ships every
+// assembled cluster-wide checkpoint to the donor's spool, so a crashed
+// coordinator or receiver leaves the donor able to resume the job
+// single-node (immediately via re-import, or at restart via spool rescan).
+
+// errStealCancelled marks a client cancel of a distributed run (DELETE on
+// the fleet job), distinguishing it from coordinator shutdown.
+var errStealCancelled = errors.New("distributed run cancelled by client")
+
+// shardProv is the provenance of one shard of a distributed run, surfaced
+// in /fleet and in the merged job document.
+type shardProv struct {
+	Node    string `json:"node"`
+	Session string `json:"session"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+}
+
+// distRun is the coordinator-held state of one stolen job's distributed
+// execution — and, once finished, its locally served result.
+type distRun struct {
+	id     string // fleet job id
+	key    string
+	spec   server.JobSpec
+	shards []shardProv
+	events *fleetEventLog
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu             sync.Mutex
+	status         string // running | done | cancelled | failed
+	stats          *metrics.Stats
+	trace          *trace.Trace
+	donations      int
+	localTransfers int
+	errMsg         string
+	lastCkpt       []byte // latest assembled cluster-wide checkpoint
+}
+
+// view snapshots the mutable fields for handlers.
+func (d *distRun) view() (status string, stats *metrics.Stats, tr *trace.Trace, donations, locals int, errMsg string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.status, d.stats, d.trace, d.donations, d.localTransfers, d.errMsg
+}
+
+// distJobDoc is the merged job document of a distributed run, mirroring a
+// node's job document where the fields overlap (spec, stats, efficiency,
+// speedup are rendered identically) and adding the shard provenance.
+type distJobDoc struct {
+	ID             string         `json:"id"`
+	Status         string         `json:"status"`
+	CacheKey       string         `json:"cache_key"`
+	Distributed    bool           `json:"distributed"`
+	Shards         []shardProv    `json:"shards"`
+	Donations      int            `json:"donations"`
+	LocalTransfers int            `json:"local_transfers"`
+	Error          string         `json:"error,omitempty"`
+	Spec           server.JobSpec `json:"spec"`
+
+	Stats      *metrics.Stats `json:"stats,omitempty"`
+	Efficiency float64        `json:"efficiency,omitempty"`
+	Speedup    float64        `json:"speedup,omitempty"`
+}
+
+// document renders the distributed job document for the fleet envelope.
+func (d *distRun) document() json.RawMessage {
+	status, stats, _, donations, locals, errMsg := d.view()
+	doc := distJobDoc{
+		ID:             d.id,
+		Status:         status,
+		CacheKey:       d.key,
+		Distributed:    true,
+		Shards:         d.shards,
+		Donations:      donations,
+		LocalTransfers: locals,
+		Error:          errMsg,
+		Spec:           d.spec,
+	}
+	if stats != nil {
+		doc.Stats = stats
+		doc.Efficiency = stats.Efficiency()
+		doc.Speedup = stats.Speedup()
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// distJobDoc is plain data; MarshalIndent cannot fail on it.
+		panic(fmt.Sprintf("cluster: marshal distributed job document: %v", err))
+	}
+	return b
+}
+
+// stealVerdict mirrors a node's GET /v1/jobs/{id}/stealable body.
+type stealVerdict struct {
+	Stealable       bool   `json:"stealable"`
+	Reason          string `json:"reason"`
+	Status          string `json:"status"`
+	P               int    `json:"p"`
+	CheckpointEvery int    `json:"checkpoint_every"`
+}
+
+// StealOnce sweeps the fleet for one steal opportunity: the oldest
+// running, not-yet-distributed job whose node reports it stealable, paired
+// with receiver nodes picked by the cluster-wide GP rotation (routable,
+// freshly scraped, not the donor).  It returns the fleet id of the job it
+// converted, or "" when nothing was stealable.  The background steal loop
+// calls this on its cadence; tests call it to step deterministically.
+func (c *Coordinator) StealOnce(ctx context.Context) (string, error) {
+	for _, f := range c.jobs.all() {
+		f.mu.Lock()
+		candidate := !f.terminal && f.dist == nil && f.node != ""
+		donor, nodeJobID := f.node, f.nodeJobID
+		f.mu.Unlock()
+		if !candidate || !c.routable(donor) {
+			continue
+		}
+		body, code, err := c.getJSONBody(ctx, donor+"/v1/jobs/"+nodeJobID+"/stealable")
+		if err != nil || code != http.StatusOK {
+			continue
+		}
+		var verdict stealVerdict
+		if json.Unmarshal(body, &verdict) != nil || !verdict.Stealable {
+			continue
+		}
+		shards := c.cfg.StealShards
+		if shards > verdict.P {
+			shards = verdict.P
+		}
+		if shards < 2 {
+			continue
+		}
+		// One receiver pick per remote shard.  With one eligible node the
+		// pointer wraps back to it; with many, consecutive steals fan out
+		// round-robin — the GP invariant, cluster-wide.
+		recvs := make([]string, 0, shards-1)
+		for i := 1; i < shards; i++ {
+			alt, ok := c.stealGP.Pick(func(u string) bool {
+				return u != donor && c.routable(u) && c.fresh(u)
+			})
+			if !ok {
+				break
+			}
+			recvs = append(recvs, alt)
+		}
+		if len(recvs) == 0 {
+			continue // no receiver in reach; nothing to steal onto
+		}
+		id, err := c.stealJob(ctx, f, donor, nodeJobID, verdict.CheckpointEvery, recvs)
+		if err != nil {
+			c.ctr.stealFailed.Add(1)
+			f.mu.Lock()
+			f.lastErr = "steal: " + err.Error()
+			f.mu.Unlock()
+			return "", err
+		}
+		return id, nil
+	}
+	return "", nil
+}
+
+// donate asks the donor node to stop the job at its next cycle boundary
+// and hand over the exact-prefix checkpoint.
+func (c *Coordinator) donate(ctx context.Context, donor, nodeJobID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, donor+"/v1/jobs/"+nodeJobID+"/donate", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := readBounded(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("donate: node answered %d: %s", resp.StatusCode, truncateForErr(body))
+	}
+	if _, err := checkpoint.Peek(body); err != nil {
+		return nil, fmt.Errorf("donate: node sent an invalid checkpoint: %v", err)
+	}
+	return body, nil
+}
+
+// stealJob converts one running node job into a distributed sharded run.
+// It is all-or-nothing up to the driver launch: any failure after the
+// donation re-imports the checkpoint to the donor, so the job resumes
+// single-node and nothing is lost.
+func (c *Coordinator) stealJob(ctx context.Context, f *fleetJob, donor, nodeJobID string, checkpointEvery int, recvs []string) (string, error) {
+	ckpt, err := c.donate(ctx, donor, nodeJobID)
+	if err != nil {
+		return "", err
+	}
+	meta, raw, err := checkpoint.DecodeRaw(ckpt)
+	if err != nil {
+		return "", c.stealAbort(ctx, f, donor, ckpt, nil, fmt.Errorf("decoding donation: %w", err))
+	}
+	var spec server.JobSpec
+	if len(meta.Extra) == 0 || json.Unmarshal(meta.Extra, &spec) != nil {
+		return "", c.stealAbort(ctx, f, donor, ckpt, nil, errors.New("donation carries no job spec"))
+	}
+	canonical, err := server.Canonicalize(spec, c.domains)
+	if err != nil {
+		return "", c.stealAbort(ctx, f, donor, ckpt, nil, fmt.Errorf("donated spec: %w", err))
+	}
+	scheme, err := simd.ParseSchemeParts(canonical.Scheme)
+	if err != nil {
+		return "", c.stealAbort(ctx, f, donor, ckpt, nil, err)
+	}
+	topo, err := topology.ByName(canonical.Topology)
+	if err != nil {
+		return "", c.stealAbort(ctx, f, donor, ckpt, nil, err)
+	}
+
+	// Open the shard sessions: the donor keeps shard 0 (with spooling, so
+	// shipped checkpoints land under the job's existing spool entry), each
+	// receiver hosts one of the remaining contiguous PE ranges.
+	n := len(recvs) + 1
+	bases := append([]string{donor}, recvs...)
+	shards := make([]steal.Shard, 0, n)
+	sessions := make([]*steal.HTTPShard, 0, n)
+	prov := make([]shardProv, 0, n)
+	for i, base := range bases {
+		lo, hi := i*canonical.P/n, (i+1)*canonical.P/n
+		sh, err := steal.OpenHTTPShard(ctx, c.client, base, ckpt, lo, hi, i == 0)
+		if err != nil {
+			return "", c.stealAbort(ctx, f, donor, ckpt, sessions, fmt.Errorf("opening shard %d on %s: %w", i, base, err))
+		}
+		sessions = append(sessions, sh)
+		shards = append(shards, sh)
+		prov = append(prov, shardProv{Node: base, Session: sh.Session(), Lo: lo, Hi: hi})
+	}
+
+	d := &distRun{
+		id:     f.id,
+		key:    f.key,
+		spec:   canonical,
+		shards: prov,
+		events: newFleetEventLog(),
+		done:   make(chan struct{}),
+		status: "running",
+	}
+	runCtx, cancel := context.WithCancelCause(c.loopCtx)
+	d.cancel = cancel
+
+	cfg := steal.Config{
+		Key:             f.key,
+		Meta:            meta,
+		Scheme:          scheme,
+		Costs:           simd.CM2Costs(),
+		Topology:        topo,
+		P:               canonical.P,
+		StopAtFirstGoal: canonical.StopAtFirstGoal,
+		MaxCycles:       canonical.BudgetCycles,
+		CheckpointEvery: checkpointEvery,
+		OnCheckpoint: func(ctx context.Context, encoded []byte) error {
+			d.mu.Lock()
+			d.lastCkpt = encoded
+			d.mu.Unlock()
+			if err := sessions[0].WriteCheckpoint(ctx, encoded); err != nil {
+				return err
+			}
+			d.events.append(server.JobEvent{Type: server.EventCheckpoint, Shards: n})
+			return nil
+		},
+		Progress: func(pi steal.ProgressInfo) {
+			d.events.append(server.JobEvent{
+				Type: server.EventProgress, Cycle: pi.Cycles, Active: pi.Active,
+				W: pi.W, LBPhases: pi.LBPhases, Shards: n,
+			})
+			for i, a := range pi.ShardActive {
+				d.events.append(server.JobEvent{
+					Type: server.EventProgress, Cycle: pi.Cycles, Active: a,
+					Shard: i + 1, Shards: n,
+				})
+			}
+		},
+		// The fleet's event cadence, finer than the engine default so a
+		// short distributed run still streams shard-dimension progress.
+		ProgressEvery: 250,
+	}
+	drv, err := steal.NewDriver(cfg, raw, shards)
+	if err != nil {
+		cancel(nil)
+		return "", c.stealAbort(ctx, f, donor, ckpt, sessions, err)
+	}
+
+	f.mu.Lock()
+	f.dist = d
+	f.status = string(server.StatusRunning)
+	f.terminal = false
+	f.unreachable = false
+	f.lastErr = ""
+	f.mu.Unlock()
+	c.ctr.jobsStolen.Add(1)
+	d.events.append(server.JobEvent{Type: server.EventStatus, Status: server.StatusRunning, Shards: n})
+
+	c.wg.Add(1)
+	go c.runDistributed(runCtx, f, d, drv, sessions)
+	return f.id, nil
+}
+
+// stealAbort unwinds a failed steal setup: close any opened shard
+// sessions (keeping the donor's spool entry) and re-import the donation
+// checkpoint to the donor so the job resumes single-node.  It returns an
+// error wrapping cause with the recovery outcome.
+func (c *Coordinator) stealAbort(ctx context.Context, f *fleetJob, donor string, ckpt []byte, sessions []*steal.HTTPShard, cause error) error {
+	for _, sh := range sessions {
+		_ = sh.Close(ctx, false) //lint:allow errdrop best-effort cleanup; the spool entry is the recovery path
+	}
+	nj, err := c.importCheckpoint(ctx, donor, ckpt)
+	if err != nil {
+		return fmt.Errorf("%w (and re-importing to %s failed: %v; the job recovers from %s's spool at its next restart)", cause, donor, err, donor)
+	}
+	f.place(donor, nj.ID, string(nj.Status), true)
+	return fmt.Errorf("%w (job re-imported to %s as %s)", cause, donor, nj.ID)
+}
+
+// runDistributed drives a stolen job's shards to completion and records
+// the merged result on the fleet job, serving it locally from then on.
+func (c *Coordinator) runDistributed(ctx context.Context, f *fleetJob, d *distRun, drv *steal.Driver, sessions []*steal.HTTPShard) {
+	defer c.wg.Done()
+	defer close(d.done)
+	defer d.cancel(nil)
+	n := len(sessions)
+
+	res, runErr := drv.Run(ctx)
+	if runErr == nil {
+		d.mu.Lock()
+		d.status = "done"
+		st := res.Stats
+		d.stats = &st
+		d.trace = res.Trace
+		d.donations = res.Donations
+		d.localTransfers = res.LocalTransfers
+		d.mu.Unlock()
+		c.ctr.stealCompleted.Add(1)
+		c.ctr.stealDonations.Add(int64(res.Donations))
+		c.ctr.stealLocal.Add(int64(res.LocalTransfers))
+		f.observe("done")
+		d.events.append(server.JobEvent{
+			Type: server.EventStatus, Status: server.StatusDone, Terminal: true,
+			Cycle: res.Stats.Cycles, W: res.Stats.W, LBPhases: res.Stats.LBPhases, Shards: n,
+		})
+		// The run completed; the donor's spool entry is dead weight.
+		c.closeSessions(sessions, true)
+		return
+	}
+
+	c.ctr.stealFailed.Add(1)
+	c.ctr.stealDonations.Add(int64(res.Donations))
+	c.ctr.stealLocal.Add(int64(res.LocalTransfers))
+	cancelled := errors.Is(runErr, errStealCancelled)
+	// Keep the donor's spool entry: the last shipped checkpoint is the
+	// exact prefix of the interrupted schedule.
+	c.closeSessions(sessions, cancelled)
+
+	status := "failed"
+	switch {
+	case cancelled:
+		status = "cancelled"
+	case ctx.Err() != nil:
+		// Coordinator shutdown: the final cancel checkpoint (if
+		// checkpointing was on) is already in the donor's spool; the donor
+		// resumes the job at its next restart.
+	default:
+		// A shard died mid-run.  Re-import the last assembled checkpoint to
+		// the donor so the job resumes single-node right away.
+		d.mu.Lock()
+		ckpt := d.lastCkpt
+		d.mu.Unlock()
+		if ckpt != nil {
+			//lint:allow ctxflow the run context is dead; recovery gets its own deadline
+			rctx, rcancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+			nj, err := c.importCheckpoint(rctx, sessions[0].Base(), ckpt)
+			rcancel()
+			if err == nil {
+				f.mu.Lock()
+				f.dist = nil
+				f.mu.Unlock()
+				f.place(sessions[0].Base(), nj.ID, string(nj.Status), true)
+				f.mu.Lock()
+				f.lastErr = fmt.Sprintf("distributed run aborted (%v); resumed single-node as %s", runErr, nj.ID)
+				f.mu.Unlock()
+				d.mu.Lock()
+				d.status = "failed"
+				d.errMsg = runErr.Error()
+				d.mu.Unlock()
+				return
+			}
+		}
+	}
+	d.mu.Lock()
+	d.status = status
+	d.errMsg = runErr.Error()
+	st := res.Stats
+	d.stats = &st
+	d.trace = res.Trace
+	d.donations = res.Donations
+	d.localTransfers = res.LocalTransfers
+	d.mu.Unlock()
+	f.observe(status)
+	f.mu.Lock()
+	f.lastErr = runErr.Error()
+	f.mu.Unlock()
+	d.events.append(server.JobEvent{
+		Type: server.EventStatus, Status: server.Status(status), Error: runErr.Error(),
+		Terminal: true, Shards: n,
+	})
+}
+
+// closeSessions releases every shard session; dropSpool also removes the
+// donor's spool entry (shard 0 is the only spooling session).
+func (c *Coordinator) closeSessions(sessions []*steal.HTTPShard, dropSpool bool) {
+	//lint:allow ctxflow teardown outlives the run context; it gets its own deadline
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+	defer cancel()
+	for i, sh := range sessions {
+		_ = sh.Close(ctx, dropSpool && i == 0) //lint:allow errdrop an orphaned session only holds memory until the node restarts
+	}
+}
+
+// fleetEventLog is the coordinator-local analogue of a node's per-job
+// event log, feeding GET /v1/jobs/{id}/events for distributed jobs with
+// the same SSE contract (sequence ids, Last-Event-ID resume, terminal
+// event closes the stream).
+type fleetEventLog struct {
+	mu     sync.Mutex
+	next   int64
+	base   int64
+	events []server.JobEvent
+	wake   chan struct{}
+}
+
+// fleetEventLogCap bounds the buffer; progress events of a long
+// distributed run trim from the front, like a node's log.
+const fleetEventLogCap = 1024
+
+func newFleetEventLog() *fleetEventLog {
+	return &fleetEventLog{next: 1, base: 1, wake: make(chan struct{})}
+}
+
+func (l *fleetEventLog) append(ev server.JobEvent) {
+	l.mu.Lock()
+	ev.Seq = l.next
+	l.next++
+	l.events = append(l.events, ev)
+	if len(l.events) > fleetEventLogCap {
+		drop := len(l.events) - fleetEventLogCap
+		l.base += int64(drop)
+		l.events = append(l.events[:0], l.events[drop:]...)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+}
+
+func (l *fleetEventLog) since(after int64) ([]server.JobEvent, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := after + 1 - l.base
+	if start < 0 {
+		start = 0
+	}
+	var out []server.JobEvent
+	if int(start) < len(l.events) {
+		out = append(out, l.events[start:]...)
+	}
+	return out, l.wake
+}
+
+// serveDistTrace serves a distributed job's merged trace with the exact
+// semantics of a node's /v1/jobs/{id}/trace: 409 before the run
+// finishes, 404 when no trace was recorded, ?trace_limit= bounds the
+// payload, and the rendering is the node's own (server.RenderTrace).
+func (c *Coordinator) serveDistTrace(w http.ResponseWriter, r *http.Request, f *fleetJob, d *distRun) {
+	if !d.spec.Trace {
+		writeError(w, http.StatusConflict, "job was not submitted with trace=true")
+		return
+	}
+	status, _, tr, _, _, _ := d.view()
+	if status == "running" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; trace is available once it finishes", status))
+		return
+	}
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "no trace recorded")
+		return
+	}
+	limit := -1
+	if q := r.URL.Query().Get("trace_limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("trace_limit must be a non-negative integer, got %q", q))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, server.RenderTrace(f.id, tr, limit))
+}
+
+// serveDistEvents streams a distributed job's coordinator-local event log
+// as SSE, mirroring the node-side stream format byte for byte.
+func (c *Coordinator) serveDistEvents(w http.ResponseWriter, r *http.Request, d *distRun) {
+	after := int64(0)
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	if raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad Last-Event-ID %q", raw))
+			return
+		}
+		after = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	ctx := r.Context()
+	for {
+		events, wake := d.events.since(after)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			after = ev.Seq
+			if ev.Terminal {
+				_ = rc.Flush() //lint:allow errdrop the stream is over either way
+				return
+			}
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-wake:
+		}
+	}
+}

@@ -70,7 +70,7 @@ func (c *Coordinator) submitOne(ctx context.Context, canonical server.JobSpec, t
 		// The routed node refused or vanished between probe and submit;
 		// give the GP pointer one chance to place the job elsewhere.
 		alt, ok := c.gp.Pick(func(u string) bool {
-			return u != target && c.routable(u) && c.depth(u) <= c.cfg.OverflowDepth
+			return u != target && c.routable(u) && c.fresh(u) && c.depth(u) <= c.cfg.OverflowDepth
 		})
 		if !ok {
 			return nil, nil, false, http.StatusServiceUnavailable, fmt.Sprintf("node %s: %v", target, err)
@@ -196,6 +196,12 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	f, ok := c.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	if d := f.distRun(); d != nil {
+		// A distributed run's events are coordinator-local; serve them
+		// with the same SSE contract the node would.
+		c.serveDistEvents(w, r, d)
 		return
 	}
 	f.mu.Lock()

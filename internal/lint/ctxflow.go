@@ -15,6 +15,7 @@ var ctxPkgs = map[string]bool{
 	"server":  true,
 	"cluster": true,
 	"traffic": true,
+	"steal":   true,
 }
 
 // CtxFlow enforces context propagation: an exported function of the

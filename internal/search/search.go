@@ -151,6 +151,41 @@ func (b *Bounded[S]) RestoreState(p []byte) error {
 	return nil
 }
 
+// StateMerger is implemented by stateful domains whose state from two
+// shards of one logical search can be folded together.  A distributed run
+// splits a machine's PE range across nodes; each shard accumulates domain
+// state independently, and merging every shard's payload reproduces the
+// state a single machine would hold.
+type StateMerger interface {
+	Stateful
+	// MergeState folds a peer shard's SaveState payload into this
+	// domain's state.  It returns an error when the payload is malformed
+	// or belongs to a differently configured domain.
+	MergeState([]byte) error
+}
+
+// MergeState implements StateMerger: the peer's smallest pruned f-value is
+// folded in with a min, which is exactly how a single shared accumulator
+// would have ordered the same prunes.
+func (b *Bounded[S]) MergeState(p []byte) error {
+	bound, n := binary.Varint(p)
+	if n <= 0 {
+		return fmt.Errorf("search: truncated bounded-domain state")
+	}
+	next, m := binary.Varint(p[n:])
+	if m <= 0 || n+m != len(p) {
+		return fmt.Errorf("search: malformed bounded-domain state")
+	}
+	if int(bound) != b.Bound {
+		return fmt.Errorf("search: bounded-domain state is for bound %d, domain has bound %d", bound, b.Bound)
+	}
+	if next < 0 {
+		return fmt.Errorf("search: negative next bound %d in bounded-domain state", next)
+	}
+	b.relaxNext(next)
+	return nil
+}
+
 // Result summarises a serial search.
 type Result struct {
 	Expanded int64 // nodes expanded (the problem size W)

@@ -31,6 +31,12 @@ type JobEvent struct {
 	W        int64  `json:"w,omitempty"`
 	LBPhases int    `json:"lb_phases,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Shard and Shards tag events of a distributed (stolen) run: Shard is
+	// the 1-based index of the shard the event describes (so omitempty
+	// never drops shard one), Shards the total count.  Single-node runs
+	// leave both zero.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 	// Terminal marks the final event of the stream; subscribers close
 	// after delivering it.
 	Terminal bool `json:"terminal,omitempty"`

@@ -21,12 +21,18 @@ const (
 	StatusTimeout   Status = "timeout"
 	StatusExhausted Status = "exhausted" // cycle budget spent; stats are the completed prefix
 	StatusFailed    Status = "failed"
+	// StatusDonated marks a job handed off to the fleet for distributed
+	// execution: the run stopped at a cycle boundary, its exact-prefix
+	// checkpoint stayed in the spool, and the coordinator drives the rest
+	// as shards.  Terminal on this node; the merged result lives with the
+	// coordinator.
+	StatusDonated Status = "donated"
 )
 
 // terminal reports whether a status is final.
 func (s Status) terminal() bool {
 	switch s {
-	case StatusDone, StatusCancelled, StatusTimeout, StatusExhausted, StatusFailed:
+	case StatusDone, StatusCancelled, StatusTimeout, StatusExhausted, StatusFailed, StatusDonated:
 		return true
 	}
 	return false
@@ -37,6 +43,7 @@ func (s Status) terminal() bool {
 var (
 	errCancelRequested = errors.New("cancelled by client")
 	errShutdown        = errors.New("server shutting down")
+	errDonated         = errors.New("donated to the fleet for distributed execution")
 )
 
 // job is one queued/executing search request.

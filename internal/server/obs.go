@@ -30,6 +30,11 @@ type counters struct {
 	checkpointsExported atomic.Int64 // checkpoints served to a fleet coordinator
 	jobsImported        atomic.Int64 // jobs accepted with a shipped checkpoint
 
+	jobsDonated         atomic.Int64 // jobs handed off for distributed execution
+	stealSessionsOpened atomic.Int64 // shard sessions accepted
+	stealFramesAbsorbed atomic.Int64 // donation frames installed into local shards
+	stealFramesSplit    atomic.Int64 // donation frames split off local shards
+
 	runDurSumNS atomic.Int64 // total wall-clock of completed runs, feeds Retry-After
 	runDurCount atomic.Int64 // number of completed runs
 }

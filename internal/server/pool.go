@@ -93,6 +93,8 @@ func (s *Server) runJob(j *job) {
 		s.finishJob(j, StatusExhausted, stats, tr, runErr.Error())
 	case errors.Is(runErr, context.DeadlineExceeded):
 		s.finishJob(j, StatusTimeout, stats, tr, runErr.Error())
+	case errors.Is(runErr, errDonated):
+		s.finishJob(j, StatusDonated, stats, tr, runErr.Error())
 	case errors.Is(runErr, context.Canceled),
 		errors.Is(runErr, errCancelRequested),
 		errors.Is(runErr, errShutdown):
@@ -104,10 +106,11 @@ func (s *Server) runJob(j *job) {
 }
 
 // cleanSpool deletes a terminal job's spool file — except when shutdown
-// ended the job, where the file is exactly what lets the next process
-// resume it.
+// ended the job (the file is exactly what lets the next process resume
+// it) or when the job was donated to the fleet (the file is the donation
+// payload, and the coordinator's shard sessions keep updating it).
 func (s *Server) cleanSpool(j *job, cause error) {
-	if s.spool == nil || errors.Is(cause, errShutdown) {
+	if s.spool == nil || errors.Is(cause, errShutdown) || errors.Is(cause, errDonated) {
 		return
 	}
 	s.spool.remove(j.key)
@@ -195,6 +198,8 @@ func (s *Server) finishJob(j *job, status Status, stats metrics.Stats, tr *trace
 		s.ctr.jobsExhausted.Add(1)
 	case StatusFailed:
 		s.ctr.jobsFailed.Add(1)
+	case StatusDonated:
+		s.ctr.jobsDonated.Add(1)
 	}
 }
 

@@ -112,6 +112,7 @@ type Server struct {
 	store     *jobStore
 	latencies *schemeLatencies
 	spool     *spool // nil when spooling is disabled
+	steal     *stealRegistry
 	ctr       counters
 
 	rootCtx  context.Context
@@ -152,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		cache:     newResultCache(cfg.CacheSize),
 		store:     newJobStore(cfg.JobHistory),
 		latencies: newSchemeLatencies(),
+		steal:     newStealRegistry(),
 		rootCtx:   rootCtx,
 		rootStop:  rootStop,
 		sched:     sched,
@@ -211,6 +213,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleExportCheckpoint)
+	mux.HandleFunc("GET /v1/jobs/{id}/stealable", s.handleStealable)
+	mux.HandleFunc("POST /v1/jobs/{id}/donate", s.handleDonate)
+	mux.HandleFunc("POST /v1/steal/sessions", s.handleStealOpen)
+	mux.HandleFunc("POST /v1/steal/sessions/{sid}/step", s.stealOp(opStep))
+	mux.HandleFunc("GET /v1/steal/sessions/{sid}/flags", s.stealOp(opFlags))
+	mux.HandleFunc("GET /v1/steal/sessions/{sid}/status", s.stealOp(opStatus))
+	mux.HandleFunc("POST /v1/steal/sessions/{sid}/transfer", s.stealOp(opTransfer))
+	mux.HandleFunc("POST /v1/steal/sessions/{sid}/split", s.stealOp(opSplit))
+	mux.HandleFunc("POST /v1/steal/sessions/{sid}/absorb", s.stealOp(opAbsorb))
+	mux.HandleFunc("GET /v1/steal/sessions/{sid}/export", s.stealOp(opExport))
+	mux.HandleFunc("POST /v1/steal/sessions/{sid}/merge", s.stealOp(opMerge))
+	mux.HandleFunc("PUT /v1/steal/sessions/{sid}/checkpoint", s.handleStealCheckpoint)
+	mux.HandleFunc("DELETE /v1/steal/sessions/{sid}", s.handleStealClose)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -509,6 +524,14 @@ func renderTrace(id string, tr *trace.Trace, limit int) traceResponse {
 	return out
 }
 
+// RenderTrace renders a trace in the exact wire form of GET
+// /v1/jobs/{id}/trace; limit < 0 means unbounded.  The fleet coordinator
+// uses it to serve a distributed job's merged trace byte-identically to a
+// node's rendering of the same run.
+func RenderTrace(id string, tr *trace.Trace, limit int) any {
+	return renderTrace(id, tr, limit)
+}
+
 // handleHealthz implements GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
@@ -573,6 +596,11 @@ type metricsResponse struct {
 	JobsResumed         int64                    `json:"jobs_resumed_total"`
 	CheckpointsExported int64                    `json:"checkpoints_exported_total"`
 	JobsImported        int64                    `json:"jobs_imported_total"`
+	JobsDonated         int64                    `json:"jobs_donated_total"`
+	StealSessionsOpened int64                    `json:"steal_sessions_opened_total"`
+	StealSessionsActive int                      `json:"steal_sessions_active"`
+	StealFramesAbsorbed int64                    `json:"steal_frames_absorbed_total"`
+	StealFramesSplit    int64                    `json:"steal_frames_split_total"`
 	SchemeLatencies     map[string]histogramJSON `json:"scheme_latency_ms,omitempty"`
 }
 
@@ -602,6 +630,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsResumed:         s.ctr.jobsResumed.Load(),
 		CheckpointsExported: s.ctr.checkpointsExported.Load(),
 		JobsImported:        s.ctr.jobsImported.Load(),
+		JobsDonated:         s.ctr.jobsDonated.Load(),
+		StealSessionsOpened: s.ctr.stealSessionsOpened.Load(),
+		StealSessionsActive: s.steal.active(),
+		StealFramesAbsorbed: s.ctr.stealFramesAbsorbed.Load(),
+		StealFramesSplit:    s.ctr.stealFramesSplit.Load(),
 		SchemeLatencies:     s.latencies.snapshot(),
 	})
 }

@@ -76,6 +76,11 @@ func (sp *spool) write(key string, b []byte) error {
 	return nil
 }
 
+// read returns the job's spooled checkpoint bytes.
+func (sp *spool) read(key string) ([]byte, error) {
+	return os.ReadFile(sp.path(key))
+}
+
 // remove deletes the job's spool file, if any.
 func (sp *spool) remove(key string) {
 	_ = os.Remove(sp.path(key)) //lint:allow errdrop a missing file is the desired state

@@ -1,0 +1,463 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"simdtree/internal/checkpoint"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/steal"
+	"simdtree/internal/synthetic"
+	"simdtree/internal/wire"
+)
+
+// Distributed work stealing, node side.  A fleet coordinator turns one
+// running job into a sharded run in three moves against this API:
+//
+//  1. GET /v1/jobs/{id}/stealable asks whether the job can be donated.
+//  2. POST /v1/jobs/{id}/donate stops the run at a cycle boundary (the
+//     same cancellation path a shutdown uses, so the exact-prefix
+//     checkpoint lands in the spool) and answers with those checkpoint
+//     bytes — the donation.
+//  3. POST /v1/steal/sessions (here and on peer nodes) opens shard
+//     sessions over PE ranges of that checkpoint; the coordinator then
+//     drives them in lock-step via the per-session endpoints, shipping
+//     steal.Frames between nodes at load-balancing phases, and ships the
+//     assembled cluster-wide checkpoints back to the donor's spool so the
+//     distributed job survives restarts.
+//
+// Sessions hold a full-size machine (only the shard's PE range occupied)
+// and are driven strictly one call at a time; a per-session mutex
+// serialises overlapping requests.
+
+// maxStealSessions bounds concurrently open shard sessions; a session's
+// machine holds up to a whole job's stacks.
+const maxStealSessions = 16
+
+// stealSession is one hosted shard of a distributed run.
+type stealSession struct {
+	id    string
+	key   string
+	spec  JobSpec
+	host  steal.Host
+	spool bool // coordinator checkpoints spool under key
+
+	mu sync.Mutex // serialises host operations
+}
+
+// stealRegistry tracks open shard sessions.
+type stealRegistry struct {
+	mu   sync.Mutex
+	byID map[string]*stealSession
+	next int64
+}
+
+func newStealRegistry() *stealRegistry {
+	return &stealRegistry{byID: make(map[string]*stealSession)}
+}
+
+func (r *stealRegistry) active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// add registers the session under a fresh id; it fails when the registry
+// is full.
+func (r *stealRegistry) add(sess *stealSession) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.byID) >= maxStealSessions {
+		return "", fmt.Errorf("server: %d shard sessions already open", len(r.byID))
+	}
+	r.next++
+	id := "s" + strconv.FormatInt(r.next, 10)
+	sess.id = id
+	r.byID[id] = sess
+	return id, nil
+}
+
+func (r *stealRegistry) get(id string) (*stealSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.byID[id]
+	return sess, ok
+}
+
+func (r *stealRegistry) remove(id string) (*stealSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.byID[id]
+	delete(r.byID, id)
+	return sess, ok
+}
+
+// buildStealHost constructs the shard machine for a decoded donation
+// checkpoint, replicating exactly the domain construction of the job
+// runners — the byte-identity contract needs the shard to expand the same
+// trees the original run would have.
+func buildStealHost(spec JobSpec, opts simd.Options, lo, hi int, raw *checkpoint.RawSnapshot) (steal.Host, error) {
+	stacks := raw.Stacks[lo:hi]
+	switch spec.Domain {
+	case "puzzle":
+		p := spec.Puzzle
+		var start puzzle.Node
+		if len(p.Tiles) == 16 {
+			var tiles [puzzle.Cells]uint8
+			copy(tiles[:], p.Tiles)
+			n, err := puzzle.FromTiles(tiles)
+			if err != nil {
+				return nil, err
+			}
+			start = n
+		} else {
+			start = puzzle.Scramble(p.Seed, p.Steps)
+		}
+		var dom search.CostDomain[puzzle.Node] = puzzle.NewDomain(start)
+		if p.LC {
+			dom = puzzle.NewDomainLC(start)
+		}
+		bound := p.Bound
+		if bound == 0 {
+			bound, _ = search.FinalIterationBound(dom)
+		}
+		return steal.NewHost[puzzle.Node](search.NewBounded(dom, bound), wire.PuzzleCodec{}, spec.Scheme, opts, lo, hi, stacks, raw.DomainState)
+	case "synthetic":
+		return steal.NewHost[synthetic.Node](synthetic.New(spec.Synthetic.W, spec.Synthetic.Seed), wire.SyntheticCodec{}, spec.Scheme, opts, lo, hi, stacks, raw.DomainState)
+	case "queens":
+		return steal.NewHost[queens.Node](queens.New(spec.Queens.N), wire.QueensCodec{}, spec.Scheme, opts, lo, hi, stacks, raw.DomainState)
+	}
+	return nil, fmt.Errorf("domain %q has no shard host", spec.Domain)
+}
+
+// stealableDomain reports whether the domain can host shard sessions
+// (injected test runners cannot — the coordinator has no host for them).
+func stealableDomain(domain string) bool {
+	switch domain {
+	case "puzzle", "synthetic", "queens":
+		return true
+	}
+	return false
+}
+
+// stealableResponse is the GET /v1/jobs/{id}/stealable verdict.
+type stealableResponse struct {
+	Stealable       bool   `json:"stealable"`
+	Reason          string `json:"reason,omitempty"`
+	Status          Status `json:"status"`
+	P               int    `json:"p,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+}
+
+// handleStealable implements GET /v1/jobs/{id}/stealable: can this job be
+// donated to the fleet right now?
+func (s *Server) handleStealable(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	v := j.view()
+	resp := stealableResponse{Status: v.Status, P: v.Spec.P, CheckpointEvery: s.cfg.CheckpointEvery}
+	switch {
+	case v.Status != StatusRunning:
+		resp.Reason = fmt.Sprintf("job is %s, not running", v.Status)
+	case s.spool == nil:
+		resp.Reason = "server runs without a checkpoint spool"
+	case s.cfg.CheckpointEvery <= 0:
+		resp.Reason = "periodic checkpointing is disabled"
+	case v.Spec.P < 2:
+		resp.Reason = "single-PE jobs cannot be sharded"
+	case !stealableDomain(v.Spec.Domain):
+		resp.Reason = fmt.Sprintf("domain %q has no shard host", v.Spec.Domain)
+	default:
+		resp.Stealable = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDonate implements POST /v1/jobs/{id}/donate: stop the running job
+// at its next cycle boundary and answer with the exact-prefix checkpoint —
+// the donation the coordinator shards across the fleet.  The spool keeps
+// the file (cleanSpool exempts donated jobs), so the node can still
+// recover the job if the distributed run dies.
+func (s *Server) handleDonate(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	if s.spool == nil {
+		writeError(w, http.StatusConflict, "server runs without a checkpoint spool")
+		return
+	}
+	v := j.view()
+	if v.Status != StatusRunning {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; only a running job can be donated", v.Status))
+		return
+	}
+	if !stealableDomain(v.Spec.Domain) {
+		writeError(w, http.StatusConflict, fmt.Sprintf("domain %q has no shard host", v.Spec.Domain))
+		return
+	}
+	j.requestCancel(errDonated)
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "job did not reach a cycle boundary before the request deadline")
+		return
+	}
+	if st := j.view().Status; st != StatusDonated {
+		// The run crossed the finish line (or failed) before the
+		// cancellation landed; there is nothing left to steal.
+		writeError(w, http.StatusConflict, fmt.Sprintf("job finished as %s before the donation landed", st))
+		return
+	}
+	b, err := s.spool.read(j.key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("donated job left no spooled checkpoint: %v", err))
+		return
+	}
+	if _, err := checkpoint.Peek(b); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("spooled checkpoint invalid: %v", err))
+		return
+	}
+	s.ctr.checkpointsExported.Add(1)
+	w.Header().Set("Content-Type", checkpoint.ContentType)
+	w.Header().Set("X-Simdtree-Cache-Key", j.key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b) //lint:allow errdrop response writer errors are unreportable
+}
+
+// handleStealOpen implements POST /v1/steal/sessions: body is a donation
+// checkpoint, ?lo= and ?hi= the shard's PE range, ?spool=1 asks the node
+// to persist coordinator checkpoints under the job's spool entry.
+func (s *Server) handleStealOpen(w http.ResponseWriter, r *http.Request) {
+	lo, err1 := strconv.Atoi(r.URL.Query().Get("lo"))
+	hi, err2 := strconv.Atoi(r.URL.Query().Get("hi"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "lo and hi query parameters must be integers")
+		return
+	}
+	wantSpool := r.URL.Query().Get("spool") == "1"
+	if wantSpool && s.spool == nil {
+		writeError(w, http.StatusConflict, "server runs without a checkpoint spool")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, checkpoint.MaxFrameSize))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading checkpoint body: %v", err))
+		return
+	}
+	meta, raw, err := checkpoint.DecodeRaw(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad donation checkpoint: %v", err))
+		return
+	}
+	var spec JobSpec
+	if len(meta.Extra) == 0 || json.Unmarshal(meta.Extra, &spec) != nil {
+		writeError(w, http.StatusBadRequest, "checkpoint carries no job spec in its meta block")
+		return
+	}
+	canonical, err := Canonicalize(spec, s.domains)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("embedded job spec: %v", err))
+		return
+	}
+	if canonical.P != meta.P {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("spec has P=%d, checkpoint has P=%d", canonical.P, meta.P))
+		return
+	}
+	if lo < 0 || hi > canonical.P || lo >= hi {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("shard range [%d, %d) invalid for P=%d", lo, hi, canonical.P))
+		return
+	}
+	opts, err := s.buildOptions(canonical)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	host, err := buildStealHost(canonical, opts, lo, hi, raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("building shard host: %v", err))
+		return
+	}
+	sess := &stealSession{key: CacheKey(canonical), spec: canonical, host: host, spool: wantSpool}
+	id, err := s.steal.add(sess)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.ctr.stealSessionsOpened.Add(1)
+	allEmpty, anyDonor := host.Status()
+	writeJSON(w, http.StatusOK, steal.OpenResponse{
+		Session: id, Lo: lo, Hi: hi, AllEmpty: allEmpty, AnyDonor: anyDonor,
+	})
+}
+
+// stealOpFunc is one session operation, invoked under the session mutex.
+type stealOpFunc func(s *Server, sess *stealSession, w http.ResponseWriter, r *http.Request)
+
+// stealOp wraps a session operation with lookup and serialisation.
+func (s *Server) stealOp(op stealOpFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := s.steal.get(r.PathValue("sid"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown shard session")
+			return
+		}
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		op(s, sess, w, r)
+	}
+}
+
+func opStep(_ *Server, sess *stealSession, w http.ResponseWriter, _ *http.Request) {
+	ci := sess.host.Step()
+	writeJSON(w, http.StatusOK, steal.StepResponse{
+		Active: ci.Active, Goals: ci.Goals, Peak: ci.Peak,
+		AllEmpty: ci.AllEmpty, AnyDonor: ci.AnyDonor,
+	})
+}
+
+func opFlags(_ *Server, sess *stealSession, w http.ResponseWriter, _ *http.Request) {
+	busy, idle := sess.host.Flags()
+	writeJSON(w, http.StatusOK, steal.FlagsResponse{Busy: busy, Idle: idle})
+}
+
+func opStatus(_ *Server, sess *stealSession, w http.ResponseWriter, _ *http.Request) {
+	allEmpty, anyDonor := sess.host.Status()
+	writeJSON(w, http.StatusOK, steal.StatusResponse{AllEmpty: allEmpty, AnyDonor: anyDonor})
+}
+
+func opTransfer(_ *Server, sess *stealSession, w http.ResponseWriter, r *http.Request) {
+	var req steal.TransferRequest
+	if !decodeStealBody(w, r, &req) {
+		return
+	}
+	moved, err := sess.host.Transfer(req.From, req.To)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, steal.MovedResponse{Moved: moved})
+}
+
+func opSplit(s *Server, sess *stealSession, w http.ResponseWriter, r *http.Request) {
+	var req steal.SplitRequest
+	if !decodeStealBody(w, r, &req) {
+		return
+	}
+	payload, moved, err := sess.host.Split(req.Donation, req.From, req.To)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if moved > 0 {
+		s.ctr.stealFramesSplit.Add(1)
+	}
+	writeJSON(w, http.StatusOK, steal.SplitResponse{Moved: moved, Stack: payload})
+}
+
+func opAbsorb(s *Server, sess *stealSession, w http.ResponseWriter, r *http.Request) {
+	frame, err := io.ReadAll(http.MaxBytesReader(w, r.Body, steal.MaxFrameSize))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading frame: %v", err))
+		return
+	}
+	moved, err := sess.host.Absorb(frame)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.ctr.stealFramesAbsorbed.Add(1)
+	writeJSON(w, http.StatusOK, steal.MovedResponse{Moved: moved})
+}
+
+func opExport(_ *Server, sess *stealSession, w http.ResponseWriter, _ *http.Request) {
+	stacks, domainState, err := sess.host.Export()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, steal.ExportResponse{Stacks: stacks, DomainState: domainState})
+}
+
+func opMerge(_ *Server, sess *stealSession, w http.ResponseWriter, r *http.Request) {
+	var req steal.MergeRequest
+	if !decodeStealBody(w, r, &req) {
+		return
+	}
+	merged, err := sess.host.Merge(req.States)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, steal.MergeResponse{DomainState: merged})
+}
+
+// handleStealCheckpoint implements PUT /v1/steal/sessions/{sid}/checkpoint:
+// the coordinator ships an assembled cluster-wide checkpoint, persisted
+// under the donated job's spool entry so a restart recovers the sharded
+// job (the spool rescan resumes it as an ordinary single-node run).
+func (s *Server) handleStealCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.steal.get(r.PathValue("sid"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown shard session")
+		return
+	}
+	if !sess.spool || s.spool == nil {
+		writeError(w, http.StatusConflict, "session was not opened with spooling")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, checkpoint.MaxFrameSize))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading checkpoint body: %v", err))
+		return
+	}
+	if _, err := checkpoint.Peek(body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad checkpoint: %v", err))
+		return
+	}
+	if err := s.spool.write(sess.key, body); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("spooling checkpoint: %v", err))
+		return
+	}
+	s.ctr.checkpointsWritten.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStealClose implements DELETE /v1/steal/sessions/{sid}; with
+// ?drop_spool=1 the donated job's spool entry goes too (the distributed
+// run completed and its result is recorded elsewhere).
+func (s *Server) handleStealClose(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.steal.remove(r.PathValue("sid"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown shard session")
+		return
+	}
+	if r.URL.Query().Get("drop_spool") == "1" && s.spool != nil {
+		s.spool.remove(sess.key)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeStealBody parses a small JSON request body, answering 400 itself
+// on failure.
+func decodeStealBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, steal.MaxFrameSize))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package simd
+
+import (
+	"fmt"
+
+	"simdtree/internal/stack"
+)
+
+// This file is the engine half of the distributed work-stealing subsystem
+// (internal/steal): a machine can be driven one lock-step cycle at a time
+// by an external coordinator, donate split stack halves to a peer machine
+// on another node, and absorb donated halves into idle PEs.  Everything
+// here preserves the determinism contract — donations and absorptions
+// happen only at cycle boundaries, mirror the exact stack operations of a
+// local transfer (Context.transferNodes), and never touch the machine's
+// own schedule ledger, which a distributed run keeps on the coordinator.
+
+// CycleInfo is the globally reducible result of one driven expansion
+// cycle: exactly the quantities the run loop derives from a cycle before
+// making its trigger and balance decisions.
+type CycleInfo struct {
+	// Active is the number of PEs that expanded a node this cycle.
+	Active int
+	// Goals is the number of goal nodes found this cycle.
+	Goals int64
+	// Peak is the largest stack size observed this cycle.
+	Peak int
+	// AllEmpty reports that every stack is empty after the cycle (the
+	// run-loop termination condition for the next iteration).
+	AllEmpty bool
+	// AnyDonor reports that some PE can split its work after the cycle
+	// (the donor-eligibility half of the balance gate).
+	AnyDonor bool
+}
+
+// StepCycle runs exactly one lock-step node-expansion cycle across all PEs
+// and returns its reductions without touching the machine's schedule
+// ledger (stats, phase accumulators, virtual clock).  It is the shard-side
+// primitive of a distributed run: the coordinator owns the ledger and the
+// trigger/balance decisions, and because those decisions are functions of
+// globally reduced scalars only, stepping every shard one cycle at a time
+// reproduces the single-machine schedule exactly.
+func (m *Machine[S]) StepCycle() CycleInfo {
+	var res cycleResult
+	res, m.expandBufs[0] = m.expandRange(0, m.stats.P, m.expandBufs[0])
+	return CycleInfo{
+		Active:   int(res.expanded),
+		Goals:    res.goals,
+		Peak:     res.peak,
+		AllEmpty: m.done(),
+		AnyDonor: m.anyDonor(),
+	}
+}
+
+// Status reports the cycle-boundary flags of an idle machine: whether all
+// stacks are empty and whether any PE could donate.  A freshly installed
+// shard reads it before its first driven cycle.
+func (m *Machine[S]) Status() (allEmpty, anyDonor bool) {
+	return m.done(), m.anyDonor()
+}
+
+// StackAt returns PE pe's stack for read-only inspection (flag scans,
+// serialisation).  Mutating it outside a cycle boundary breaks the
+// determinism contract; use InstallStack, TransferLocal, Donate and Absorb
+// for sanctioned mutation.
+func (m *Machine[S]) StackAt(pe int) *stack.Stack[S] { return m.stacks[pe] }
+
+// InstallStack replaces PE pe's stack, taking ownership of s.  It is the
+// shard-construction primitive: a driven shard machine is built at full P
+// and then has its [lo, hi) range installed from decoded payloads and
+// everything else cleared.  Only valid at a cycle boundary.
+func (m *Machine[S]) InstallStack(pe int, s *stack.Stack[S]) error {
+	if pe < 0 || pe >= len(m.stacks) {
+		return fmt.Errorf("simd: install PE %d out of range [0, %d)", pe, len(m.stacks))
+	}
+	if s == nil {
+		s = stack.New[S]()
+	}
+	m.stacks[pe] = s
+	// The balancing context aliases the stack table by slice header, which
+	// is unchanged by the slot write, but keep the invariant explicit.
+	m.lbCtx.Stacks = m.stacks
+	return nil
+}
+
+// TransferLocal performs one donor-to-receiver stack transfer between two
+// PEs of this machine, using the scheme's splitter exactly like a
+// load-balancing phase does, without touching the phase accounting (a
+// distributed run accounts on the coordinator).  It returns the number of
+// stack nodes moved; a donor that cannot split moves nothing.
+func (m *Machine[S]) TransferLocal(from, to int) (int, error) {
+	if from < 0 || from >= len(m.stacks) || to < 0 || to >= len(m.stacks) {
+		return 0, fmt.Errorf("simd: transfer %d->%d out of range [0, %d)", from, to, len(m.stacks))
+	}
+	m.lbCtx.ensureSpares(1)
+	return m.lbCtx.transferNodes(from, to, 0), nil
+}
+
+// Donation is one split stack half in flight between two PEs that may
+// live on different machines.  The coordinator mints the ID; donations of
+// one distributed run are totally ordered by it, which keeps replays
+// byte-identical.
+type Donation[S any] struct {
+	// ID orders the donation within its distributed run.
+	ID uint64
+	// From and To are global PE indices (donor and receiver).
+	From, To int
+	// Stack holds the donated levels; the donation owns it.
+	Stack *stack.Stack[S]
+}
+
+// Donate splits PE from's stack with the scheme's splitter and returns the
+// donated half as a Donation addressed to PE to, leaving the donor's
+// remainder in place — the cross-machine analogue of the donor side of
+// Context.Transfer.  A donor that cannot split returns an empty donation
+// (Stack.Size() == 0) and no error.  Only valid at a cycle boundary.
+func (m *Machine[S]) Donate(id uint64, from, to int) (Donation[S], error) {
+	if from < 0 || from >= len(m.stacks) {
+		return Donation[S]{}, fmt.Errorf("simd: donor PE %d out of range [0, %d)", from, len(m.stacks))
+	}
+	d := Donation[S]{ID: id, From: from, To: to, Stack: stack.New[S]()}
+	donor := m.stacks[from]
+	if !donor.Splittable() {
+		return d, nil
+	}
+	if is, ok := m.sch.Splitter.(stack.IntoSplitter[S]); ok {
+		is.SplitInto(donor, d.Stack)
+	} else {
+		d.Stack = m.sch.Splitter.Split(donor)
+	}
+	return d, nil
+}
+
+// Absorb installs a donation into the addressed PE, which must be idle —
+// the receiver side of a cross-machine transfer.  The install performs the
+// exact stack operation a local transfer would (AppendCopy of the split
+// half), so a distributed schedule stays byte-identical to the
+// single-machine one.  It returns the number of stack nodes absorbed.
+// Only valid at a cycle boundary.
+func (m *Machine[S]) Absorb(d Donation[S]) (int, error) {
+	if d.To < 0 || d.To >= len(m.stacks) {
+		return 0, fmt.Errorf("simd: absorb PE %d out of range [0, %d)", d.To, len(m.stacks))
+	}
+	if d.Stack == nil || d.Stack.Size() == 0 {
+		return 0, nil
+	}
+	if !m.stacks[d.To].Empty() {
+		return 0, fmt.Errorf("simd: absorb target PE %d is not idle (%d nodes)", d.To, m.stacks[d.To].Size())
+	}
+	m.absorbInstall(d.To, d.Stack)
+	return d.Stack.Size(), nil
+}
+
+// absorbInstall is the allocation-sensitive tail of Absorb: the level copy
+// into the receiver stack, identical to the local-transfer install.
+//
+//lint:hotpath
+func (m *Machine[S]) absorbInstall(to int, s *stack.Stack[S]) {
+	m.stacks[to].AppendCopy(s)
+}

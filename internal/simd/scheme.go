@@ -69,6 +69,56 @@ func ParseScheme[S any](label string) (Scheme[S], error) {
 	return NewScheme[S](label[:i], trig, false)
 }
 
+// SchemeParts is the codec-erased decomposition of a scheme label: the
+// matcher instance, trigger and transfer policy without the generic
+// balancer wrapper.  The distributed-stealing coordinator uses it to run
+// the global schedule (trigger evaluation, matching, GP pointer) for a
+// run whose node type it never sees.
+type SchemeParts struct {
+	// Label is the canonical scheme label, e.g. "GP-DK".
+	Label string
+	// Matcher is a fresh matcher instance (GP pointer parked).
+	Matcher match.Matcher
+	// Trigger decides when a load-balancing phase starts.
+	Trigger trigger.Trigger
+	// Multi selects repeated matching/transfer rounds per phase.
+	Multi bool
+	// WantInit reports the scheme expects the S^0.85 initial distribution.
+	WantInit bool
+}
+
+// ParseSchemeParts parses a scheme label into its codec-erased parts,
+// applying the same rules as ParseScheme/NewScheme: D^P implies multiple
+// transfers, and the dynamic triggers want the initial distribution.
+func ParseSchemeParts(label string) (SchemeParts, error) {
+	i := strings.Index(label, "-")
+	if i < 0 {
+		return SchemeParts{}, fmt.Errorf("simd: scheme label %q is not <matcher>-<trigger>", label)
+	}
+	trig, err := trigger.Parse(label[i+1:])
+	if err != nil {
+		return SchemeParts{}, err
+	}
+	var m match.Matcher
+	switch label[:i] {
+	case "GP":
+		m = match.NewGP()
+	case "nGP":
+		m = &match.NGP{}
+	default:
+		return SchemeParts{}, fmt.Errorf("simd: unknown matcher %q", label[:i])
+	}
+	_, dynDP := trig.(trigger.DP)
+	_, dynDK := trig.(trigger.DK)
+	return SchemeParts{
+		Label:    label[:i] + "-" + trig.Name(),
+		Matcher:  m,
+		Trigger:  trig,
+		Multi:    dynDP,
+		WantInit: dynDP || dynDK,
+	}, nil
+}
+
 // StaticScheme returns <matcher>-S<x>.
 func StaticScheme[S any](matcherName string, x float64) (Scheme[S], error) {
 	return NewScheme[S](matcherName, trigger.Static{X: x}, false)

@@ -1,0 +1,203 @@
+package steal
+
+import (
+	"errors"
+	"fmt"
+
+	"simdtree/internal/search"
+	"simdtree/internal/simd"
+	"simdtree/internal/stack"
+	"simdtree/internal/wire"
+)
+
+// Host is the node-side, codec-erased face of one shard of a distributed
+// run: a full-P machine whose PE range [lo, hi) holds the shard's stacks
+// while every other PE is empty.  All methods are cycle-boundary
+// operations driven by the coordinator; a Host is not safe for concurrent
+// use (the server serialises access per session).
+type Host interface {
+	// Range returns the shard's [lo, hi) global PE range.
+	Range() (lo, hi int)
+	// Step runs one lock-step expansion cycle and returns its reductions.
+	Step() simd.CycleInfo
+	// Status returns the cycle-boundary flags without stepping.
+	Status() (allEmpty, anyDonor bool)
+	// Flags returns the busy (splittable) and idle (empty) flags of the
+	// shard's PEs; index i covers global PE lo+i.
+	Flags() (busy, idle []bool)
+	// Transfer performs a local donor-to-receiver transfer between two
+	// PEs of this shard and returns the nodes moved.
+	Transfer(from, to int) (int, error)
+	// Split splits PE from's stack for donation id addressed to global PE
+	// to, returning the wire-encoded donated half and its node count; an
+	// unsplittable donor returns (nil, 0, nil).
+	Split(id uint64, from, to int) ([]byte, int, error)
+	// Absorb validates an encoded frame and installs its stack into the
+	// addressed idle PE, returning the nodes absorbed.
+	Absorb(frame []byte) (int, error)
+	// Export returns the wire payloads of the shard's [lo, hi) stacks and
+	// the domain state (nil for stateless domains).
+	Export() (stacks [][]byte, domainState []byte, err error)
+	// Merge folds peer shards' domain-state payloads into this shard's
+	// domain and returns the merged state.  Checkpoint assembly calls it
+	// on shard 0 with the other shards' exports.
+	Merge(states [][]byte) ([]byte, error)
+}
+
+// host is the generic Host implementation.
+type host[S any] struct {
+	m     *simd.Machine[S]
+	d     search.Domain[S]
+	codec wire.Codec[S]
+	lo    int
+	hi    int
+}
+
+// NewHost builds the shard machine for PE range [lo, hi) of a P-processor
+// run: a full-size machine (so global PE indices and splitter semantics
+// are identical to the single-machine run) with the given wire-encoded
+// stacks installed in the range and every other PE empty.  stacks[i] is
+// installed at global PE lo+i; domainState, when non-nil, restores a
+// stateful domain.  The machine runs with one worker — a driven shard
+// expands sequentially, which by the determinism contract changes nothing
+// but wall-clock time.
+func NewHost[S any](d search.Domain[S], codec wire.Codec[S], schemeLabel string, opts simd.Options, lo, hi int, stacks [][]byte, domainState []byte) (Host, error) {
+	if codec == nil {
+		return nil, errors.New("steal: nil codec")
+	}
+	if lo < 0 || hi > opts.P || lo >= hi {
+		return nil, fmt.Errorf("steal: shard range [%d, %d) invalid for P=%d", lo, hi, opts.P)
+	}
+	if len(stacks) != hi-lo {
+		return nil, fmt.Errorf("steal: %d stack payloads for a %d-PE shard", len(stacks), hi-lo)
+	}
+	sch, err := simd.ParseScheme[S](schemeLabel)
+	if err != nil {
+		return nil, err
+	}
+	opts.Workers = 1
+	opts.Trace = nil // the coordinator owns the trace ledger
+	opts.Progress = nil
+	m, err := simd.NewMachine[S](d, sch, opts)
+	if err != nil {
+		return nil, err
+	}
+	// NewMachine seeds the root on PE 0; a shard starts from its installed
+	// range only.
+	if err := m.InstallStack(0, stack.New[S]()); err != nil {
+		return nil, err
+	}
+	for i, payload := range stacks {
+		s, err := wire.DecodeStack(codec, payload)
+		if err != nil {
+			return nil, fmt.Errorf("steal: stack for PE %d: %w", lo+i, err)
+		}
+		if err := m.InstallStack(lo+i, s); err != nil {
+			return nil, err
+		}
+	}
+	if domainState != nil {
+		st, ok := d.(search.Stateful)
+		if !ok {
+			return nil, errors.New("steal: domain state for a stateless domain")
+		}
+		if err := st.RestoreState(domainState); err != nil {
+			return nil, err
+		}
+	}
+	return &host[S]{m: m, d: d, codec: codec, lo: lo, hi: hi}, nil
+}
+
+func (h *host[S]) Range() (int, int) { return h.lo, h.hi }
+
+func (h *host[S]) Step() simd.CycleInfo { return h.m.StepCycle() }
+
+func (h *host[S]) Status() (bool, bool) { return h.m.Status() }
+
+func (h *host[S]) Flags() (busy, idle []bool) {
+	n := h.hi - h.lo
+	busy = make([]bool, n)
+	idle = make([]bool, n)
+	for i := 0; i < n; i++ {
+		s := h.m.StackAt(h.lo + i)
+		busy[i] = s.Splittable()
+		idle[i] = s.Empty()
+	}
+	return busy, idle
+}
+
+// inRange validates a global PE index against the shard range.
+func (h *host[S]) inRange(pe int) error {
+	if pe < h.lo || pe >= h.hi {
+		return fmt.Errorf("steal: PE %d outside shard range [%d, %d)", pe, h.lo, h.hi)
+	}
+	return nil
+}
+
+func (h *host[S]) Transfer(from, to int) (int, error) {
+	if err := h.inRange(from); err != nil {
+		return 0, err
+	}
+	if err := h.inRange(to); err != nil {
+		return 0, err
+	}
+	return h.m.TransferLocal(from, to)
+}
+
+func (h *host[S]) Split(id uint64, from, to int) ([]byte, int, error) {
+	if err := h.inRange(from); err != nil {
+		return nil, 0, err
+	}
+	d, err := h.m.Donate(id, from, to)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := d.Stack.Size()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	return wire.EncodeStack(h.codec, d.Stack), n, nil
+}
+
+func (h *host[S]) Absorb(frame []byte) (int, error) {
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		return 0, err
+	}
+	if f.Codec != h.codec.Name() {
+		return 0, fmt.Errorf("steal: frame stacks encoded with codec %q, shard uses %q", f.Codec, h.codec.Name())
+	}
+	if err := h.inRange(f.To); err != nil {
+		return 0, err
+	}
+	s, err := wire.DecodeStack(h.codec, f.Stack)
+	if err != nil {
+		return 0, fmt.Errorf("steal: frame stack: %w", err)
+	}
+	return h.m.Absorb(simd.Donation[S]{ID: f.Donation, From: f.From, To: f.To, Stack: s})
+}
+
+func (h *host[S]) Export() ([][]byte, []byte, error) {
+	stacks := make([][]byte, h.hi-h.lo)
+	for i := range stacks {
+		stacks[i] = wire.EncodeStack(h.codec, h.m.StackAt(h.lo+i))
+	}
+	var domain []byte
+	if st, ok := h.d.(search.Stateful); ok {
+		domain = st.SaveState()
+	}
+	return stacks, domain, nil
+}
+
+func (h *host[S]) Merge(states [][]byte) ([]byte, error) {
+	st, ok := h.d.(search.StateMerger)
+	if !ok {
+		return nil, errors.New("steal: domain does not support state merging")
+	}
+	for i, s := range states {
+		if err := st.MergeState(s); err != nil {
+			return nil, fmt.Errorf("steal: merging shard state %d: %w", i, err)
+		}
+	}
+	return st.SaveState(), nil
+}

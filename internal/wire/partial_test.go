@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
+	"simdtree/internal/stack"
+	"simdtree/internal/synthetic"
+)
+
+// Partial-stack round trips: the shapes a distributed donation actually
+// ships are not the tidy stacks of TestStackRoundTrip but the leftovers
+// of splitting — donors with drained interior levels, single-level
+// donated fragments, and the empty stacks of idle PEs.  These tests pin
+// each shape through the codecs.
+
+// TestPartialStackInteriorEmptyLevel splits the sole bottom node off a
+// stack, leaving an interior empty level on the donor (trim only removes
+// empty levels from the top).  The canonical encoding omits the hole, so
+// the decode is structurally compacted but preserves search order, and
+// re-encoding is byte-stable.
+func TestPartialStackInteriorEmptyLevel(t *testing.T) {
+	c := PuzzleCodec{}
+	s := stack.New(puzzle.Scramble(1, 10))
+	s.PushLevel([]puzzle.Node{puzzle.Scramble(2, 12), puzzle.Scramble(3, 14)})
+	s.PushLevel([]puzzle.Node{puzzle.Scramble(4, 16), puzzle.Scramble(5, 18)})
+
+	donated := stack.BottomNode[puzzle.Node]{}.Split(s)
+	if donated.Size() != 1 {
+		t.Fatalf("bottom-node split donated %d nodes, want 1", donated.Size())
+	}
+	// The donor now carries an empty level below two live ones.
+	if s.Depth() != 3 || s.Size() != 4 {
+		t.Fatalf("donor depth/size = %d/%d, want 3/4 (interior hole retained)", s.Depth(), s.Size())
+	}
+
+	msg := EncodeStack[puzzle.Node](c, s)
+	got, err := DecodeStack[puzzle.Node](c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth() != 2 || got.Size() != s.Size() {
+		t.Fatalf("decoded depth/size = %d/%d, want 2/%d (hole omitted)", got.Depth(), got.Size(), s.Size())
+	}
+	a, b := s.Flatten(), got.Flatten()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d changed across the hole", i)
+		}
+	}
+	if again := EncodeStack[puzzle.Node](c, got); !bytes.Equal(msg, again) {
+		t.Error("re-encoding the compacted stack changed bytes")
+	}
+}
+
+// TestPartialStackSingleLevelDonation round-trips the smallest real
+// donation — one level, as bottom-node splitting produces — through every
+// workload codec.
+func TestPartialStackSingleLevelDonation(t *testing.T) {
+	t.Run("puzzle", func(t *testing.T) {
+		c := PuzzleCodec{}
+		src := stack.New(puzzle.Scramble(7, 20), puzzle.Scramble(8, 22))
+		d := stack.BottomNode[puzzle.Node]{}.Split(src)
+		roundTripPartial(t, c, d)
+	})
+	t.Run("synthetic", func(t *testing.T) {
+		c := SyntheticCodec{}
+		src := stack.New(
+			synthetic.Node{Budget: 900, Seed: 11},
+			synthetic.Node{Budget: 41, Seed: 12},
+		)
+		d := stack.BottomNode[synthetic.Node]{}.Split(src)
+		roundTripPartial(t, c, d)
+	})
+	t.Run("queens", func(t *testing.T) {
+		c := QueensCodec{}
+		dom := queens.New(8)
+		src := stack.New(dom.Expand(dom.Root(), nil)...)
+		d := stack.BottomNode[queens.Node]{}.Split(src)
+		roundTripPartial(t, c, d)
+	})
+}
+
+// TestPartialStackZeroPE pins the zero-PE edge: an idle PE's empty stack
+// encodes to the one-byte zero-level frame and decodes back to empty.
+// Checkpoint and donation framing rely on this being valid, not an error.
+func TestPartialStackZeroPE(t *testing.T) {
+	c := SyntheticCodec{}
+	s := stack.New[synthetic.Node]()
+	msg := EncodeStack[synthetic.Node](c, s)
+	if len(msg) != 1 {
+		t.Fatalf("empty stack encodes to %d bytes, want 1", len(msg))
+	}
+	got, err := DecodeStack[synthetic.Node](c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() || got.Depth() != 0 {
+		t.Fatalf("decoded empty stack has size %d depth %d", got.Size(), got.Depth())
+	}
+	if again := EncodeStack[synthetic.Node](c, got); !bytes.Equal(msg, again) {
+		t.Error("empty-stack encoding is not byte-stable")
+	}
+}
+
+// roundTripPartial checks that a donated fragment survives encode/decode
+// with order, size, depth, and bytes intact.
+func roundTripPartial[S comparable](t *testing.T, c Codec[S], s *stack.Stack[S]) {
+	t.Helper()
+	if s.Empty() {
+		t.Fatal("donation is empty")
+	}
+	msg := EncodeStack[S](c, s)
+	got, err := DecodeStack[S](c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != s.Size() || got.Depth() != s.Depth() {
+		t.Fatalf("size/depth changed: %d/%d -> %d/%d", s.Size(), s.Depth(), got.Size(), got.Depth())
+	}
+	a, b := s.Flatten(), got.Flatten()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d changed", i)
+		}
+	}
+	if again := EncodeStack[S](c, got); !bytes.Equal(msg, again) {
+		t.Error("re-encoding changed bytes")
+	}
+}

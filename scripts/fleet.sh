@@ -1,13 +1,51 @@
 #!/bin/sh
-# Launch a local fleet: three simdserve nodes with checkpoint spools,
-# fronted by one simdfleet coordinator.  Ctrl-C tears everything down.
+# Launch a local fleet: N simdserve nodes with checkpoint spools, fronted
+# by one simdfleet coordinator.  Ctrl-C tears everything down.
 # Used by `make fleet`; the CI smoke test drives the same topology.
+#
+# Flags (also settable via the environment variable of the same purpose):
+#   -n COUNT      number of nodes (default 3, env FLEET_NODES)
+#   -p PORT       first node port; nodes take PORT, PORT+1, ... (default
+#                 18081, env FLEET_BASE_PORT)
+#   -c ADDR       coordinator listen address (default 127.0.0.1:18080,
+#                 env COORD_ADDR)
+#   -s INTERVAL   steal sweep cadence passed to simdfleet -steal; empty
+#                 disables cross-node work stealing (env FLEET_STEAL)
 set -eu
 
 BIN=${BIN:-./bin}
 BASE=${FLEET_DIR:-/tmp/simdfleet-local}
 COORD_ADDR=${COORD_ADDR:-127.0.0.1:18080}
-NODE_PORTS="18081 18082 18083"
+COUNT=${FLEET_NODES:-3}
+BASE_PORT=${FLEET_BASE_PORT:-18081}
+STEAL=${FLEET_STEAL:-}
+
+usage() {
+    echo "usage: $0 [-n nodes] [-p base-port] [-c coord-addr] [-s steal-interval]" >&2
+    exit 2
+}
+while getopts "n:p:c:s:h" opt; do
+    case $opt in
+    n) COUNT=$OPTARG ;;
+    p) BASE_PORT=$OPTARG ;;
+    c) COORD_ADDR=$OPTARG ;;
+    s) STEAL=$OPTARG ;;
+    h | *) usage ;;
+    esac
+done
+shift $((OPTIND - 1))
+[ $# -eq 0 ] || usage
+case $COUNT in
+'' | *[!0-9]*) echo "node count must be a positive integer, got '$COUNT'" >&2; exit 2 ;;
+esac
+[ "$COUNT" -ge 1 ] || { echo "need at least one node" >&2; exit 2; }
+
+NODE_PORTS=""
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+    NODE_PORTS="$NODE_PORTS $((BASE_PORT + i))"
+    i=$((i + 1))
+done
 
 mkdir -p "$BASE"
 PIDS=""
@@ -37,8 +75,12 @@ for port in $NODE_PORTS; do
     done
 done
 
-echo "fleet: 3 nodes up ($NODES); coordinator on $COORD_ADDR"
-"$BIN/simdfleet" -addr "$COORD_ADDR" -nodes "$NODES" -probe 1s -sync 1s &
+echo "fleet: $COUNT node(s) up ($NODES); coordinator on $COORD_ADDR"
+if [ -n "$STEAL" ]; then
+    "$BIN/simdfleet" -addr "$COORD_ADDR" -nodes "$NODES" -probe 1s -sync 1s -steal "$STEAL" &
+else
+    "$BIN/simdfleet" -addr "$COORD_ADDR" -nodes "$NODES" -probe 1s -sync 1s &
+fi
 PIDS="$PIDS $!"
 
 wait
