@@ -22,17 +22,20 @@ test-race:
 # baseline (see DESIGN.md section 11).  bench-baseline regenerates the
 # baseline file after an intentional perf change; bump the number when you
 # want to keep the old trajectory point.
-BENCH_BASELINE ?= BENCH_0.json
+BENCH_BASELINE ?= BENCH_2.json
 
 bench:
 	$(GO) run ./cmd/simdbench -out /dev/null -compare $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench 'BenchmarkFlagFill|BenchmarkArenaTransfer' -benchmem .
 
 bench-baseline:
 	$(GO) run ./cmd/simdbench -out $(BENCH_BASELINE)
 
-# CI smoke variant: one iteration per scenario, allocation + schedule gate.
+# CI smoke variant: one iteration per scenario, allocation + schedule gate,
+# plus the structure-of-arrays micro-benchmarks (allocs/op must stay 0).
 bench-check:
 	$(GO) run ./cmd/simdbench -short -out /dev/null -compare $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench 'BenchmarkFlagFill|BenchmarkArenaTransfer' -benchtime 100x -benchmem .
 
 # The full go-test microbenchmark suite (allocation counts per benchmark).
 bench-go:

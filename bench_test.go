@@ -11,6 +11,7 @@ import (
 	"simdtree/internal/bench"
 	"simdtree/internal/experiments"
 	"simdtree/internal/puzzle"
+	"simdtree/internal/scan"
 	"simdtree/internal/search"
 	"simdtree/internal/stack"
 	"simdtree/internal/synthetic"
@@ -309,6 +310,57 @@ func BenchmarkExpansionCycle(b *testing.B) {
 // accounting dominate both time and allocations.
 func BenchmarkLBPhase(b *testing.B) {
 	runScenario(b, bench.LBPhase)
+}
+
+// BenchmarkFlagFill measures the per-cycle flag maintenance of the
+// structure-of-arrays core at CM-2 scale (P=8192): branch-free bitset
+// writes, the word-popcount reduction, the derived idle flags, and the
+// bridge back to []bool consumers.  Zero allocs/op is part of the
+// contract.
+func BenchmarkFlagFill(b *testing.B) {
+	b.ReportAllocs()
+	const p = 8192
+	busy := scan.NewBits(p)
+	idle := scan.NewBits(p)
+	bools := make([]bool, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pe := 0; pe < p; pe++ {
+			busy.SetTo(pe, pe&3 == 0)
+		}
+		scan.ComplementInto(idle, busy, p)
+		busy.FillBools(bools)
+		if busy.CountBits()+idle.CountBits() != p {
+			b.Fatal("flag fill lost bits")
+		}
+	}
+}
+
+// BenchmarkArenaTransfer measures a load-balancing transfer in the
+// structure-of-arrays core: a half-stack split as range copies within the
+// arena, the deferred bit re-sync, and the receiver drain.  Steady state
+// must not allocate.
+func BenchmarkArenaTransfer(b *testing.B) {
+	b.ReportAllocs()
+	a := stack.NewArena[int](2)
+	buf := make([]int, 4)
+	for l := 0; l < 16; l++ {
+		for j := range buf {
+			buf[j] = l*4 + j
+		}
+		a.PushLevel(0, buf)
+	}
+	sp := stack.HalfStack[int]{}
+	donor, recv := 0, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.Splittable(donor) {
+			donor, recv = recv, donor
+		}
+		sp.SplitArena(a, donor, recv)
+		a.SyncBits(donor)
+		a.SyncBits(recv)
+	}
 }
 
 // BenchmarkStackSplit measures the engine's transfer mechanics in steady

@@ -7,10 +7,12 @@
 // With -compare it checks a fresh measurement against a committed baseline
 // and exits non-zero when the schedule drifted (W/cycles/phases differ — a
 // determinism bug, never tolerated) or allocations regressed beyond the
-// tolerance.  Wall-clock time is reported but only gated with -time, since
-// shared CI runners make it noisy; the Workers speedup is gated only on
-// hosts with at least two CPUs, where parallelism can show up in wall-clock
-// time at all.
+// tolerance.  Wall-clock time is compared per scenario against the
+// baseline's ns/op and reported, but only gated with -time, since shared
+// CI runners make it noisy; the Workers speedups (global and per
+// scenario) are gated only on hosts with at least four CPUs, where the
+// eight-way sharding has enough cores for parallelism to reliably show up
+// in wall-clock time at all.
 //
 // Usage:
 //
@@ -38,6 +40,11 @@ type Result struct {
 	TotalW      int64 `json:"total_w"`
 	Cycles      int   `json:"cycles"`
 	LBPhases    int   `json:"lb_phases"`
+	// SpeedupW8OverW1 is the wall-clock ratio of this scenario at
+	// Workers=1 over the same configuration rerun at Workers=8 — about
+	// 1.0 on single-CPU hosts, where the shards serialise.  Scenarios
+	// already pinned at Workers>1 omit it.
+	SpeedupW8OverW1 float64 `json:"speedup_w8_over_w1,omitempty"`
 }
 
 // Baseline is the BENCH_<n>.json document.  It deliberately carries no
@@ -71,7 +78,7 @@ func run() error {
 	flag.Parse()
 
 	base := Baseline{
-		Schema:    1,
+		Schema:    2,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -99,6 +106,9 @@ func run() error {
 		base.SpeedupW8OverW1 = float64(nsW1) / float64(nsW8)
 		fmt.Fprintf(os.Stderr, "workers speedup (w1/w8): %.2fx on %d CPU(s)\n", base.SpeedupW8OverW1, base.CPUs)
 	}
+	if err := fillScenarioSpeedups(&base, *short); err != nil {
+		return err
+	}
 
 	enc, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
@@ -115,6 +125,46 @@ func run() error {
 
 	if *compare != "" {
 		return gate(base, *compare, *tolerance, *gateTime)
+	}
+	return nil
+}
+
+// fillScenarioSpeedups records, for every Workers=1 scenario, the
+// wall-clock ratio over the same configuration at Workers=8.  When the
+// pinned suite already contains the eight-worker twin (the table5 pair)
+// its measurement is reused; otherwise the variant is run here, timed the
+// same way but kept out of the scenario list (the variant's schedule is
+// identical by the determinism contract, so only its wall-clock matters).
+func fillScenarioSpeedups(base *Baseline, short bool) error {
+	w8ns := make(map[bench.Scenario]int64, len(base.Scenarios))
+	for _, r := range base.Scenarios {
+		if r.Workers == 8 {
+			key := r.Scenario
+			key.Name, key.Workers = "", 1
+			w8ns[key] = r.NsPerOp
+		}
+	}
+	for i, r := range base.Scenarios {
+		if r.Workers != 1 {
+			continue
+		}
+		key := r.Scenario
+		key.Name = ""
+		ns, ok := w8ns[key]
+		if !ok {
+			variant := r.Scenario
+			variant.Workers = 8
+			res, err := measure(variant, iterations(variant.Name, short))
+			if err != nil {
+				return err
+			}
+			ns = res.NsPerOp
+		}
+		if ns > 0 {
+			base.Scenarios[i].SpeedupW8OverW1 = float64(r.NsPerOp) / float64(ns)
+			fmt.Fprintf(os.Stderr, "%-18s workers speedup (w1/w8): %.2fx\n",
+				r.Name, base.Scenarios[i].SpeedupW8OverW1)
+		}
 	}
 	return nil
 }
@@ -199,16 +249,29 @@ func gate(cur Baseline, path string, tolerance float64, gateTime bool) error {
 			fails = append(fails, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
 				want.Name, got.AllocsPerOp, want.AllocsPerOp, tolerance*100))
 		}
-		if gateTime {
-			if limit := float64(want.NsPerOp) * (1 + tolerance); float64(got.NsPerOp) > limit {
+		// Wall-clock is always compared and reported; it only fails the
+		// gate with -time.
+		if want.NsPerOp > 0 {
+			delta := 100 * (float64(got.NsPerOp) - float64(want.NsPerOp)) / float64(want.NsPerOp)
+			fmt.Fprintf(os.Stderr, "%-18s %10s/op vs baseline %10s/op (%+.1f%%)\n",
+				want.Name, time.Duration(got.NsPerOp), time.Duration(want.NsPerOp), delta)
+			if gateTime && float64(got.NsPerOp) > float64(want.NsPerOp)*(1+tolerance) {
 				fails = append(fails, fmt.Sprintf("%s: ns/op %d exceeds baseline %d by more than %.0f%%",
 					want.Name, got.NsPerOp, want.NsPerOp, tolerance*100))
 			}
 		}
+		// A per-scenario Workers speedup that inverts (parallel slower
+		// than serial) on a genuinely multi-core host is a sharding
+		// regression.  Four CPUs is the floor at which the eight-way
+		// shards reliably overlap; below that the ratio is noise.
+		if cur.CPUs >= 4 && want.SpeedupW8OverW1 > 1 && got.SpeedupW8OverW1 > 0 && got.SpeedupW8OverW1 < 1.0 {
+			fails = append(fails, fmt.Sprintf("%s: workers speedup dropped to %.2fx (baseline %.2fx)",
+				want.Name, got.SpeedupW8OverW1, want.SpeedupW8OverW1))
+		}
 	}
 	// The Workers speedup only materialises in wall-clock time when the
 	// host can actually run shards concurrently.
-	if cur.CPUs >= 2 && ref.SpeedupW8OverW1 > 1 && cur.SpeedupW8OverW1 < 1.0 {
+	if cur.CPUs >= 4 && ref.SpeedupW8OverW1 > 1 && cur.SpeedupW8OverW1 < 1.0 {
 		fails = append(fails, fmt.Sprintf("workers speedup dropped to %.2fx (baseline %.2fx)",
 			cur.SpeedupW8OverW1, ref.SpeedupW8OverW1))
 	}

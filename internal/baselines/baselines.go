@@ -89,7 +89,7 @@ func (GiveOneBalancer[S]) Balance(c *simd.Context[S]) (rounds, transfers int) {
 		served := false
 		for tries := 0; tries < len(donors); tries++ {
 			d := donors[(di+tries)%len(donors)]
-			if c.Stacks[d].Splittable() {
+			if c.Splittable(d) {
 				if c.Transfer(d, r) > 0 {
 					transfers++
 					served = true
@@ -130,11 +130,11 @@ func (NNBalancer[S]) Name() string { return "nearest-neighbour" }
 func (NNBalancer[S]) Balance(c *simd.Context[S]) (rounds, transfers int) {
 	p := c.P()
 	for i := 0; i < p; i++ {
-		if !c.Stacks[i].Empty() {
+		if !c.Empty(i) {
 			continue
 		}
 		for _, n := range c.Topo.Neighbors(p, i) {
-			if c.Stacks[n].Splittable() {
+			if c.Splittable(n) {
 				if c.Transfer(n, i) > 0 {
 					transfers++
 				}

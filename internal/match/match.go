@@ -48,6 +48,19 @@ type ParallelMatcher interface {
 	SetParallelism(workers int)
 }
 
+// BitMatcher is implemented by matchers that can run their enumeration
+// scans directly on the engine's flag bitsets (scan.Bits), visiting only
+// the set bits instead of walking P booleans.  MatchBits returns exactly
+// the pairs Match would for the equivalent []bool flags — the bitset form
+// is a representation change, never a schedule change.  Both matchers in
+// this package implement it; the engine falls back to Match for foreign
+// ones.
+type BitMatcher interface {
+	Matcher
+	// MatchBits is Match over word-packed flags; n is the machine size.
+	MatchBits(busy, idle scan.Bits, n int) []scan.Pair
+}
+
 // arena is the reusable matching scratch shared by both schemes: the busy
 // and idle enumeration ranks, the rendezvous rank-inversion table, and the
 // returned pair slice.  None of it is semantic state — Reset does not touch
@@ -96,6 +109,17 @@ func (g *NGP) Match(busy, idle []bool) []scan.Pair {
 	g.grow(len(busy))
 	scan.EnumerateParallelInto(g.busyRanks, busy, g.workers)
 	scan.EnumerateParallelInto(g.idleRanks, idle, g.workers)
+	g.pairs, g.inv = scan.RendezvousInto(g.pairs[:0], g.inv, g.busyRanks, g.idleRanks)
+	return g.pairs
+}
+
+// MatchBits implements BitMatcher.
+//
+//lint:hotpath
+func (g *NGP) MatchBits(busy, idle scan.Bits, n int) []scan.Pair {
+	g.grow(n)
+	scan.EnumerateBitsInto(g.busyRanks, busy, n)
+	scan.EnumerateBitsInto(g.idleRanks, idle, n)
 	g.pairs, g.inv = scan.RendezvousInto(g.pairs[:0], g.inv, g.busyRanks, g.idleRanks)
 	return g.pairs
 }
@@ -151,6 +175,40 @@ func (g *GP) Match(busy, idle []bool) []scan.Pair {
 	nIdle := scan.EnumerateParallelInto(g.idleRanks, idle, g.workers)
 	g.pairs, g.inv = scan.RendezvousInto(g.pairs[:0], g.inv, g.busyRanks, g.idleRanks)
 	// Advance the pointer to the donor with the highest matched rank.
+	matched := nBusy
+	if nIdle < matched {
+		matched = nIdle
+	}
+	if matched > 0 {
+		last := matched - 1
+		for i, r := range g.busyRanks {
+			if r == last {
+				g.pointer = i
+				break
+			}
+		}
+	}
+	return g.pairs
+}
+
+// MatchBits implements BitMatcher, reproducing Match exactly: the busy
+// enumeration rotates from the flag after the global pointer, the idle
+// one starts at 0, and the pointer advances to the donor with the highest
+// matched rank.
+//
+//lint:hotpath
+func (g *GP) MatchBits(busy, idle scan.Bits, n int) []scan.Pair {
+	if n == 0 {
+		return nil
+	}
+	start := (g.pointer + 1) % n
+	if g.pointer < 0 {
+		start = 0
+	}
+	g.grow(n)
+	nBusy := scan.EnumerateBitsFromInto(g.busyRanks, busy, start, n)
+	nIdle := scan.EnumerateBitsInto(g.idleRanks, idle, n)
+	g.pairs, g.inv = scan.RendezvousInto(g.pairs[:0], g.inv, g.busyRanks, g.idleRanks)
 	matched := nBusy
 	if nIdle < matched {
 		matched = nIdle

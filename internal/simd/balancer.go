@@ -10,13 +10,16 @@ import (
 )
 
 // Context exposes the machine state a Balancer manipulates during a
-// load-balancing phase.  Transfers must go through Transfer (or, for a
-// whole matching round at once, TransferAll) so the engine can account for
-// them.  The engine keeps one Context per machine and resets it between
-// phases, so the scratch below (flag buffers, spare stacks, per-pair move
-// counts) is reused across the whole run.
+// load-balancing phase.  The PE stacks live in a structure-of-arrays
+// Arena; donor/receiver eligibility is read from its can-split and
+// has-work bitsets (O(P/64) to scan) or via the per-PE Splittable/Empty
+// accessors.  Transfers must go through Transfer (or, for a whole
+// matching round at once, TransferAll) so the engine can account for them
+// and keep the bitsets in sync.  The engine keeps one Context per machine
+// and resets it between phases, so the scratch below (flag buffers,
+// per-pair move counts) is reused across the whole run.
 type Context[S any] struct {
-	Stacks   []*stack.Stack[S]
+	Arena    *stack.Arena[S]
 	Splitter stack.Splitter[S]
 	Topo     topology.Network
 
@@ -32,16 +35,13 @@ type Context[S any] struct {
 	workers     int
 	runParallel func(task func(w int))
 
-	// Reusable scratch: busy/idle flag buffers, per-pair move counts, the
-	// per-shard spare stacks that shuttle split work from donor to
-	// receiver, and the pre-bound shard tasks (allocated once, not per
-	// phase).
+	// Reusable scratch: busy/idle flag buffers for []bool consumers, the
+	// idle bitset (complement of has-work), per-pair move counts, and the
+	// pre-bound shard task (allocated once, not per phase).
 	busy, idle   []bool
+	idleB        scan.Bits
 	moved        []int
 	curPairs     []scan.Pair
-	spares       []*stack.Stack[S]
-	taskBusy     func(w int)
-	taskIdle     func(w int)
 	taskTransfer func(w int)
 }
 
@@ -56,7 +56,34 @@ func (c *Context[S]) reset(recordDonors bool) {
 }
 
 // P returns the machine size.
-func (c *Context[S]) P() int { return len(c.Stacks) }
+func (c *Context[S]) P() int { return c.Arena.P() }
+
+// Splittable reports that PE i can donate (at least two stack nodes);
+// unlike the bitsets it is always fresh, even between the transfers of an
+// in-progress round.
+func (c *Context[S]) Splittable(i int) bool { return c.Arena.Splittable(i) }
+
+// Empty reports that PE i has no work; always fresh like Splittable.
+func (c *Context[S]) Empty(i int) bool { return c.Arena.Empty(i) }
+
+// busyBits returns the donor-eligibility bitset: bit i set when PE i can
+// split its work into two non-empty parts (the paper's "busy").  It is
+// the arena's live can-split bitset — read-only, fresh at phase start and
+// after every accounted transfer.
+func (c *Context[S]) busyBits() scan.Bits { return c.Arena.SplitBits() }
+
+// idleBits returns the receiver bitset: bit i set when PE i has no work.
+// It is computed as the masked complement of the arena's has-work bitset
+// into context scratch, valid until the next idleBits call.
+func (c *Context[S]) idleBits() scan.Bits {
+	p := c.Arena.P()
+	if len(c.idleB) < (p+63)/64 {
+		//lint:allow hotalloc idle bitset scratch grows once to P/64 words and is reused across phases
+		c.idleB = scan.NewBits(p)
+	}
+	scan.ComplementInto(c.idleB, c.Arena.WorkBits(), p)
+	return c.idleB
+}
 
 // shardBounds returns shard w's [lo, hi) range over n items, using the
 // same contiguous chunking as the engine's expansion sharding.
@@ -73,114 +100,57 @@ func (c *Context[S]) shardBounds(w, n int) (lo, hi int) {
 	return lo, hi
 }
 
-// parallelFlagMin is the machine size below which the flag fills run
-// sequentially; the cut-over affects wall-clock time only.
-const parallelFlagMin = 1024
-
-// Busy returns the donor-eligibility flags: processor i can split its work
-// into two non-empty parts (the paper's definition of busy: at least two
-// nodes on the stack).  The returned slice is the context's scratch and is
-// valid until the next Busy call.
+// Busy returns the donor-eligibility flags as a []bool, expanded
+// branch-free from the can-split bitset.  The returned slice is the
+// context's scratch and is valid until the next Busy call.
 func (c *Context[S]) Busy() []bool {
-	if cap(c.busy) < len(c.Stacks) {
+	p := c.Arena.P()
+	if cap(c.busy) < p {
 		//lint:allow hotalloc flag scratch grows once to P and is reused across phases
-		c.busy = make([]bool, len(c.Stacks))
+		c.busy = make([]bool, p)
 	}
-	c.busy = c.busy[:len(c.Stacks)]
-	if c.runParallel != nil && len(c.Stacks) >= parallelFlagMin {
-		if c.taskBusy == nil {
-			//lint:allow hotalloc shard task closure is created once and cached
-			c.taskBusy = func(w int) {
-				lo, hi := c.shardBounds(w, len(c.Stacks))
-				for i := lo; i < hi; i++ {
-					c.busy[i] = c.Stacks[i].Splittable()
-				}
-			}
-		}
-		c.runParallel(c.taskBusy)
-	} else {
-		for i, s := range c.Stacks {
-			c.busy[i] = s.Splittable()
-		}
-	}
+	c.busy = c.busy[:p]
+	c.busyBits().FillBools(c.busy)
 	return c.busy
 }
 
-// Idle returns the receiver flags: processor i has no work at all.  The
-// returned slice is the context's scratch and is valid until the next Idle
-// call.
+// Idle returns the receiver flags (PE has no work at all) as a []bool,
+// expanded branch-free from the has-work bitset's complement.  The
+// returned slice is the context's scratch and is valid until the next
+// Idle call.
 func (c *Context[S]) Idle() []bool {
-	if cap(c.idle) < len(c.Stacks) {
+	p := c.Arena.P()
+	if cap(c.idle) < p {
 		//lint:allow hotalloc flag scratch grows once to P and is reused across phases
-		c.idle = make([]bool, len(c.Stacks))
+		c.idle = make([]bool, p)
 	}
-	c.idle = c.idle[:len(c.Stacks)]
-	if c.runParallel != nil && len(c.Stacks) >= parallelFlagMin {
-		if c.taskIdle == nil {
-			//lint:allow hotalloc shard task closure is created once and cached
-			c.taskIdle = func(w int) {
-				lo, hi := c.shardBounds(w, len(c.Stacks))
-				for i := lo; i < hi; i++ {
-					c.idle[i] = c.Stacks[i].Empty()
-				}
-			}
-		}
-		c.runParallel(c.taskIdle)
-	} else {
-		for i, s := range c.Stacks {
-			c.idle[i] = s.Empty()
-		}
-	}
+	c.idle = c.idle[:p]
+	c.idleBits().FillBools(c.idle)
 	return c.idle
 }
 
-// spare returns shard w's spare stack, the recycled intermediary that
-// carries split work from donor to receiver.  Callers must have grown
-// c.spares past w first (see ensureSpares); the lazy stack creation writes
-// only slot w, so concurrent shards do not race.
-func (c *Context[S]) spare(w int) *stack.Stack[S] {
-	if c.spares[w] == nil {
-		c.spares[w] = stack.New[S]()
-	}
-	return c.spares[w]
-}
-
-// ensureSpares grows the spare-stack table to at least n slots.  It must
-// run before (never during) a parallel region.
-func (c *Context[S]) ensureSpares(n int) {
-	if n < 1 {
-		n = 1
-	}
-	for len(c.spares) < n {
-		//lint:allow hotalloc spare-stack table grows once to the worker count
-		c.spares = append(c.spares, nil)
-	}
-}
-
-// transferNodes moves split work from processor from to processor to
-// without touching the shared phase accounting; w selects the per-shard
-// spare stack so parallel callers do not share scratch.  It returns the
-// number of stack nodes moved.
-func (c *Context[S]) transferNodes(from, to, w int) int {
-	donor := c.Stacks[from]
-	if !donor.Splittable() {
+// transferNodes moves split work from PE from to PE to without touching
+// the shared phase accounting or the arena bitsets — the caller re-syncs
+// the two PEs (sequentially, after any parallel region).  The three
+// built-in splitters move the nodes as range copies within the arena; a
+// foreign splitter falls back to materialising the donor, running its
+// Split, and reinstalling both halves, which donates the identical
+// contents.  It returns the number of stack nodes moved.
+func (c *Context[S]) transferNodes(from, to int) int {
+	a := c.Arena
+	if !a.Splittable(from) {
 		return 0
 	}
-	if is, ok := c.Splitter.(stack.IntoSplitter[S]); ok {
-		sp := c.spare(w)
-		is.SplitInto(donor, sp)
-		n := sp.Size()
-		if n > 0 {
-			c.Stacks[to].AppendCopy(sp)
-		}
-		sp.Clear()
-		return n
+	if as, ok := c.Splitter.(stack.ArenaSplitter[S]); ok {
+		return as.SplitArena(a, from, to)
 	}
-	// Foreign splitter: fall back to the allocating Split/Append path.
+	//lint:allow hotalloc foreign-splitter fallback, the built-in splitters split within the arena
+	donor := a.MaterializeStack(from)
 	donated := c.Splitter.Split(donor)
+	a.InstallFromStack(from, donor)
 	n := donated.Size()
 	if n > 0 {
-		c.Stacks[to].Append(donated)
+		a.AppendFromStack(to, donated)
 	}
 	return n
 }
@@ -189,8 +159,9 @@ func (c *Context[S]) transferNodes(from, to, w int) int {
 // to processor to.  It reports the number of stack nodes moved; a donor
 // that can no longer split moves nothing.
 func (c *Context[S]) Transfer(from, to int) int {
-	c.ensureSpares(1)
-	n := c.transferNodes(from, to, 0)
+	n := c.transferNodes(from, to)
+	c.Arena.SyncBits(from)
+	c.Arena.SyncBits(to)
 	if n == 0 {
 		return 0
 	}
@@ -212,13 +183,16 @@ const parallelPairMin = 64
 // TransferAll performs every transfer of one matching round and reports how
 // many pairs actually moved work.  The pairs must have pairwise-distinct
 // donors and pairwise-distinct receivers — the guarantee every rendezvous
-// matching round provides — so the stack operations of different pairs are
-// independent and the round can execute across the host worker shards.
-// The phase accounting (transfer count, maximum transfer size, donor trace)
-// is always reduced sequentially in pair order, so the results are
-// bit-identical to calling Transfer pair by pair.
+// matching round provides — so the arena mutations of different pairs
+// touch disjoint PEs and the round can execute across the host worker
+// shards.  The arena bitsets are not updated inside the parallel region
+// (pairs in different shards may share a bitset word); they are re-synced,
+// and the phase accounting (transfer count, maximum transfer size, donor
+// trace) reduced, sequentially in pair order — bit-identical to calling
+// Transfer pair by pair.
 func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
-	if c.runParallel == nil || len(pairs) < parallelPairMin {
+	_, arenaSplit := c.Splitter.(stack.ArenaSplitter[S])
+	if c.runParallel == nil || len(pairs) < parallelPairMin || !arenaSplit {
 		done := 0
 		for _, p := range pairs {
 			if c.Transfer(p.From, p.To) > 0 {
@@ -227,7 +201,6 @@ func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
 		}
 		return done
 	}
-	c.ensureSpares(c.workers)
 	if cap(c.moved) < len(pairs) {
 		//lint:allow hotalloc per-pair move counts grow once to the pair count
 		c.moved = make([]int, len(pairs))
@@ -240,7 +213,7 @@ func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
 			lo, hi := c.shardBounds(w, len(c.curPairs))
 			for k := lo; k < hi; k++ {
 				p := c.curPairs[k]
-				c.moved[k] = c.transferNodes(p.From, p.To, w)
+				c.moved[k] = c.transferNodes(p.From, p.To)
 			}
 		}
 	}
@@ -248,6 +221,8 @@ func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
 	c.curPairs = nil
 	done := 0
 	for k, n := range c.moved {
+		c.Arena.SyncBits(pairs[k].From)
+		c.Arena.SyncBits(pairs[k].To)
 		if n == 0 {
 			continue
 		}
@@ -304,13 +279,22 @@ func (b *MatchBalancer[S]) Name() string {
 // balancer can be reused across runs.
 func (b *MatchBalancer[S]) Reset() { b.Matcher.Reset() }
 
-// Balance implements Balancer.
+// Balance implements Balancer.  Matchers that understand the engine's
+// flag bitsets (both of the paper's do) match directly on them — the
+// setup enumerations then visit only set bits — and foreign matchers get
+// the equivalent []bool flags; the pairs are identical either way.
 func (b *MatchBalancer[S]) Balance(c *Context[S]) (rounds, transfers int) {
 	if pm, ok := b.Matcher.(match.ParallelMatcher); ok {
 		pm.SetParallelism(c.workers)
 	}
+	bm, hasBits := b.Matcher.(match.BitMatcher)
 	for {
-		pairs := b.Matcher.Match(c.Busy(), c.Idle())
+		var pairs []scan.Pair
+		if hasBits {
+			pairs = bm.MatchBits(c.busyBits(), c.idleBits(), c.P())
+		} else {
+			pairs = b.Matcher.Match(c.Busy(), c.Idle())
+		}
 		if len(pairs) == 0 {
 			if rounds == 0 {
 				rounds = 1 // the phase still pays its setup scans

@@ -59,27 +59,28 @@ func (m *Machine[S]) Status() (allEmpty, anyDonor bool) {
 	return m.done(), m.anyDonor()
 }
 
-// StackAt returns PE pe's stack for read-only inspection (flag scans,
-// serialisation).  Mutating it outside a cycle boundary breaks the
-// determinism contract; use InstallStack, TransferLocal, Donate and Absorb
-// for sanctioned mutation.
-func (m *Machine[S]) StackAt(pe int) *stack.Stack[S] { return m.stacks[pe] }
+// Arena exposes the machine's structure-of-arrays stack storage for
+// read-only inspection (flag scans, serialisation via wire.AppendArena).
+// Mutating it outside a cycle boundary breaks the determinism contract;
+// use InstallStack, TransferLocal, Donate and Absorb for sanctioned
+// mutation.
+func (m *Machine[S]) Arena() *stack.Arena[S] { return m.arena }
 
-// InstallStack replaces PE pe's stack, taking ownership of s.  It is the
-// shard-construction primitive: a driven shard machine is built at full P
-// and then has its [lo, hi) range installed from decoded payloads and
-// everything else cleared.  Only valid at a cycle boundary.
+// StackAt returns a copy of PE pe's stack, materialised from the arena —
+// the Stack-typed inspection surface.  Mutating the copy never affects
+// the machine; callers that need the live flags or bytes without the copy
+// use Arena.
+func (m *Machine[S]) StackAt(pe int) *stack.Stack[S] { return m.arena.MaterializeStack(pe) }
+
+// InstallStack replaces PE pe's contents with a copy of s (nil clears the
+// PE).  It is the shard-construction primitive: a driven shard machine is
+// built at full P and then has its [lo, hi) range installed from decoded
+// payloads and everything else cleared.  Only valid at a cycle boundary.
 func (m *Machine[S]) InstallStack(pe int, s *stack.Stack[S]) error {
-	if pe < 0 || pe >= len(m.stacks) {
-		return fmt.Errorf("simd: install PE %d out of range [0, %d)", pe, len(m.stacks))
+	if pe < 0 || pe >= m.opts.P {
+		return fmt.Errorf("simd: install PE %d out of range [0, %d)", pe, m.opts.P)
 	}
-	if s == nil {
-		s = stack.New[S]()
-	}
-	m.stacks[pe] = s
-	// The balancing context aliases the stack table by slice header, which
-	// is unchanged by the slot write, but keep the invariant explicit.
-	m.lbCtx.Stacks = m.stacks
+	m.arena.InstallFromStack(pe, s)
 	return nil
 }
 
@@ -89,11 +90,13 @@ func (m *Machine[S]) InstallStack(pe int, s *stack.Stack[S]) error {
 // distributed run accounts on the coordinator).  It returns the number of
 // stack nodes moved; a donor that cannot split moves nothing.
 func (m *Machine[S]) TransferLocal(from, to int) (int, error) {
-	if from < 0 || from >= len(m.stacks) || to < 0 || to >= len(m.stacks) {
-		return 0, fmt.Errorf("simd: transfer %d->%d out of range [0, %d)", from, to, len(m.stacks))
+	if from < 0 || from >= m.opts.P || to < 0 || to >= m.opts.P {
+		return 0, fmt.Errorf("simd: transfer %d->%d out of range [0, %d)", from, to, m.opts.P)
 	}
-	m.lbCtx.ensureSpares(1)
-	return m.lbCtx.transferNodes(from, to, 0), nil
+	n := m.lbCtx.transferNodes(from, to)
+	m.arena.SyncBits(from)
+	m.arena.SyncBits(to)
+	return n, nil
 }
 
 // Donation is one split stack half in flight between two PEs that may
@@ -115,19 +118,23 @@ type Donation[S any] struct {
 // Context.Transfer.  A donor that cannot split returns an empty donation
 // (Stack.Size() == 0) and no error.  Only valid at a cycle boundary.
 func (m *Machine[S]) Donate(id uint64, from, to int) (Donation[S], error) {
-	if from < 0 || from >= len(m.stacks) {
-		return Donation[S]{}, fmt.Errorf("simd: donor PE %d out of range [0, %d)", from, len(m.stacks))
+	if from < 0 || from >= m.opts.P {
+		return Donation[S]{}, fmt.Errorf("simd: donor PE %d out of range [0, %d)", from, m.opts.P)
 	}
 	d := Donation[S]{ID: id, From: from, To: to, Stack: stack.New[S]()}
-	donor := m.stacks[from]
-	if !donor.Splittable() {
+	if !m.arena.Splittable(from) {
 		return d, nil
 	}
+	// Materialise the donor, run the exact splitter a local transfer would,
+	// and reinstall the remainder: the donated bytes are identical to the
+	// pre-arena implementation (materialisation preserves level structure).
+	donor := m.arena.MaterializeStack(from)
 	if is, ok := m.sch.Splitter.(stack.IntoSplitter[S]); ok {
 		is.SplitInto(donor, d.Stack)
 	} else {
 		d.Stack = m.sch.Splitter.Split(donor)
 	}
+	m.arena.InstallFromStack(from, donor)
 	return d, nil
 }
 
@@ -138,23 +145,24 @@ func (m *Machine[S]) Donate(id uint64, from, to int) (Donation[S], error) {
 // single-machine one.  It returns the number of stack nodes absorbed.
 // Only valid at a cycle boundary.
 func (m *Machine[S]) Absorb(d Donation[S]) (int, error) {
-	if d.To < 0 || d.To >= len(m.stacks) {
-		return 0, fmt.Errorf("simd: absorb PE %d out of range [0, %d)", d.To, len(m.stacks))
+	if d.To < 0 || d.To >= m.opts.P {
+		return 0, fmt.Errorf("simd: absorb PE %d out of range [0, %d)", d.To, m.opts.P)
 	}
 	if d.Stack == nil || d.Stack.Size() == 0 {
 		return 0, nil
 	}
-	if !m.stacks[d.To].Empty() {
-		return 0, fmt.Errorf("simd: absorb target PE %d is not idle (%d nodes)", d.To, m.stacks[d.To].Size())
+	if !m.arena.Empty(d.To) {
+		return 0, fmt.Errorf("simd: absorb target PE %d is not idle (%d nodes)", d.To, m.arena.Size(d.To))
 	}
 	m.absorbInstall(d.To, d.Stack)
 	return d.Stack.Size(), nil
 }
 
 // absorbInstall is the allocation-sensitive tail of Absorb: the level copy
-// into the receiver stack, identical to the local-transfer install.
+// into the receiver's arena window, identical to the local-transfer
+// install.
 //
 //lint:hotpath
 func (m *Machine[S]) absorbInstall(to int, s *stack.Stack[S]) {
-	m.stacks[to].AppendCopy(s)
+	m.arena.AppendFromStack(to, s)
 }

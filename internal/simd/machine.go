@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mbits "math/bits"
 	"sync"
 	"time"
 
@@ -109,7 +110,10 @@ type Machine[S any] struct {
 	topo  topology.Network
 	costs Costs
 
-	stacks  []*stack.Stack[S]
+	// arena holds every PE stack in structure-of-arrays form: flat per-PE
+	// size/offset arrays, contiguous per-PE node buffers, and the has-work
+	// and can-split bitsets the cycle loop reduces over.
+	arena   *stack.Arena[S]
 	workers int
 
 	// shards are the fixed [lo, hi) PE ranges the worker goroutines cover,
@@ -233,11 +237,8 @@ func NewMachine[S any](d search.Domain[S], sch Scheme[S], opts Options) (*Machin
 	if m.workers > opts.P {
 		m.workers = opts.P
 	}
-	m.stacks = make([]*stack.Stack[S], opts.P)
-	for i := range m.stacks {
-		m.stacks[i] = stack.New[S]()
-	}
-	m.stacks[0].PushLevel([]S{d.Root()})
+	m.arena = stack.NewArena[S](opts.P)
+	m.arena.PushLevel(0, []S{d.Root()})
 	m.stats.P = opts.P
 	m.estLB = m.costs.SingleRoundCost(m.topo, opts.P)
 
@@ -250,7 +251,7 @@ func NewMachine[S any](d search.Domain[S], sch Scheme[S], opts Options) (*Machin
 		m.cycleRes[w], m.expandBufs[w] = m.expandRange(sh.lo, sh.hi, m.expandBufs[w])
 	}
 	m.lbCtx = &Context[S]{
-		Stacks:   m.stacks,
+		Arena:    m.arena,
 		Splitter: m.sch.Splitter,
 		Topo:     m.topo,
 		workers:  m.workers,
@@ -265,9 +266,13 @@ func NewMachine[S any](d search.Domain[S], sch Scheme[S], opts Options) (*Machin
 type shardRange struct{ lo, hi int }
 
 // makeShards divides p processing elements into at most workers contiguous
-// chunks, dropping empty trailing chunks.
+// chunks, dropping empty trailing chunks.  Chunks are rounded up to whole
+// 64-PE bitset words so no two shards ever share a flag word: the parallel
+// expansion updates each PE's has-work/can-split bits in place, and word
+// ownership per shard keeps those read-modify-writes race-free.
 func makeShards(p, workers int) []shardRange {
 	chunk := (p + workers - 1) / workers
+	chunk = (chunk + 63) &^ 63
 	shards := make([]shardRange, 0, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -460,25 +465,13 @@ func (m *Machine[S]) maybeCheckpoint() error {
 	return m.ckpt(snap)
 }
 
-// done reports whether every stack is empty.
-func (m *Machine[S]) done() bool {
-	for _, s := range m.stacks {
-		if !s.Empty() {
-			return false
-		}
-	}
-	return true
-}
+// done reports whether every stack is empty: all has-work bitset words
+// zero, one compare per 64 PEs instead of a pointer chase per PE.
+func (m *Machine[S]) done() bool { return m.arena.NoWork() }
 
-// anyDonor reports whether some PE can split its work.
-func (m *Machine[S]) anyDonor() bool {
-	for _, s := range m.stacks {
-		if s.Splittable() {
-			return true
-		}
-	}
-	return false
-}
+// anyDonor reports whether some PE can split its work (any can-split
+// bitset word non-zero).
+func (m *Machine[S]) anyDonor() bool { return m.arena.AnySplittable() }
 
 // checkBudget enforces the MaxCycles safety valve.
 func (m *Machine[S]) checkBudget() error {
@@ -571,25 +564,38 @@ func (m *Machine[S]) cycle() int {
 	return active
 }
 
-// expandRange expands one node on every non-empty stack in [lo, hi).  It
-// returns the (possibly grown) expansion buffer so the caller can keep it
-// for the next cycle.
+// expandRange expands one node on every non-empty stack in [lo, hi),
+// iterating the set bits of the has-work bitset so empty PEs cost nothing
+// beyond one word load per 64 of them.  Each word is snapshotted before
+// its PEs are expanded, which is exactly the lock-step semantics: the set
+// of PEs that expand this cycle is fixed at the cycle boundary.  lo is
+// 64-aligned for every shard but the degenerate lo=0, so concurrent
+// shards never read or write the same bitset word.  It returns the
+// (possibly grown) expansion buffer so the caller can keep it for the
+// next cycle.
 func (m *Machine[S]) expandRange(lo, hi int, buf []S) (cycleResult, []S) {
 	var res cycleResult
-	for i := lo; i < hi; i++ {
-		stk := m.stacks[i]
-		node, ok := stk.Pop()
-		if !ok {
-			continue
-		}
-		res.expanded++
-		if m.d.Goal(node) {
-			res.goals++
-		}
-		buf = m.d.Expand(node, buf[:0])
-		stk.PushLevelCopy(buf)
-		if s := stk.Size(); s > res.peak {
-			res.peak = s
+	a := m.arena
+	words := a.WorkBits()
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		w := words[wi]
+		base := wi << 6
+		for w != 0 {
+			pe := base + mbits.TrailingZeros64(w)
+			if pe >= hi {
+				break
+			}
+			w &= w - 1
+			node, _ := a.Pop(pe)
+			res.expanded++
+			if m.d.Goal(node) {
+				res.goals++
+			}
+			buf = m.d.Expand(node, buf[:0])
+			a.PushLevel(pe, buf)
+			if s := a.Size(pe); s > res.peak {
+				res.peak = s
+			}
 		}
 	}
 	return res, buf

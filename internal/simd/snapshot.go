@@ -99,7 +99,7 @@ func (m *Machine[S]) Snapshot() (*Snapshot[S], error) {
 	snap := &Snapshot[S]{
 		Cycle:          m.stats.Cycles,
 		InitDone:       m.initDone,
-		Stacks:         make([]*stack.Stack[S], len(m.stacks)),
+		Stacks:         make([]*stack.Stack[S], m.opts.P),
 		MatcherPointer: ptr,
 		PhaseCycles:    m.phaseCycles,
 		PhaseElapsed:   m.phaseElapsed,
@@ -110,8 +110,8 @@ func (m *Machine[S]) Snapshot() (*Snapshot[S], error) {
 		Trace:          m.opts.Trace.Clone(),
 	}
 	snap.Stats.Cancelled = false
-	for i, s := range m.stacks {
-		snap.Stacks[i] = s.Clone()
+	for i := range snap.Stacks {
+		snap.Stacks[i] = m.arena.MaterializeStack(i)
 	}
 	if st, ok := m.d.(search.Stateful); ok {
 		snap.DomainState = st.SaveState()
@@ -148,7 +148,7 @@ func (m *Machine[S]) RestoreSnapshot(snap *Snapshot[S]) error {
 		}
 	}
 	for i, s := range snap.Stacks {
-		m.stacks[i] = s.Clone()
+		m.arena.InstallFromStack(i, s)
 	}
 	m.stats = snap.Stats
 	m.stats.Cancelled = false

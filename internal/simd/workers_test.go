@@ -71,16 +71,19 @@ func checkWorkersInvariant(t *testing.T, run func(workers int) (metrics.Stats, *
 }
 
 // TestWorkersDeterminism verifies the invariant across all six Table 1
-// schemes on both domains, and at P=1024 where the parallel flag-scan and
-// parallel transfer paths of the load-balancing phase engage (below those
-// thresholds the sharded run takes the sequential paths, which would
-// leave the parallel reductions untested).
+// schemes on both domains, sweeping the machine sizes where the engine
+// changes gear: P=256 (multi-word bitsets, sequential LB paths), P=1024
+// (the parallel flag-scan and parallel transfer paths of the
+// load-balancing phase engage) and P=8192 (many 64-aligned expansion
+// shards per worker, sparse has-work bitsets).  Below those thresholds
+// the sharded run takes the sequential paths, which would leave the
+// parallel reductions untested.
 func TestWorkersDeterminism(t *testing.T) {
 	for _, label := range simd.Table1Labels(0.85) {
 		t.Run("synthetic/"+label, func(t *testing.T) {
 			tree := synthetic.New(20000, 42)
 			st := checkWorkersInvariant(t, func(workers int) (metrics.Stats, *trace.Trace, []byte) {
-				return runTraced[synthetic.Node](t, tree, label, 128, workers, wire.SyntheticCodec{})
+				return runTraced[synthetic.Node](t, tree, label, 256, workers, wire.SyntheticCodec{})
 			})
 			if st.W != 20000 {
 				t.Errorf("synthetic tree W=%d, want exactly 20000", st.W)
@@ -90,6 +93,15 @@ func TestWorkersDeterminism(t *testing.T) {
 			tree := synthetic.New(60000, 7)
 			checkWorkersInvariant(t, func(workers int) (metrics.Stats, *trace.Trace, []byte) {
 				return runTraced[synthetic.Node](t, tree, label, 1024, workers, wire.SyntheticCodec{})
+			})
+		})
+		t.Run("synthetic-p8192/"+label, func(t *testing.T) {
+			if testing.Short() {
+				t.Skip("P=8192 sweep skipped in -short mode")
+			}
+			tree := synthetic.New(120000, 19)
+			checkWorkersInvariant(t, func(workers int) (metrics.Stats, *trace.Trace, []byte) {
+				return runTraced[synthetic.Node](t, tree, label, 8192, workers, wire.SyntheticCodec{})
 			})
 		})
 		t.Run("puzzle/"+label, func(t *testing.T) {

@@ -1,0 +1,460 @@
+package stack
+
+import "simdtree/internal/scan"
+
+// Arena is the structure-of-arrays form of P DFS stacks: instead of P
+// independent Stack values whose levels are pointer-chased [][]S slices,
+// every per-PE quantity lives in one flat array indexed by PE, and each
+// PE's nodes occupy one contiguous window of a per-PE buffer.
+//
+// Layout, for processing element pe:
+//
+//	bufs[pe][head[pe] : head[pe]+size[pe]]   live nodes, bottom-to-top
+//	lvls[pe][lvlLo[pe] : lvlLo[pe]+depth[pe]] level lengths, bottom first
+//
+// The head offset makes bottom-node removal O(1) (advance head, shrink
+// the bottom level) and lets half-stack splits run as one compaction pass
+// of range copies.  Two invariants hold at every quiescent point:
+//
+//  1. Every live level holds at least one node.  Empty levels are dropped
+//     the moment they form (a pop draining the top level, a bottom
+//     removal draining the bottom one), which the search order cannot
+//     observe: every Stack operation skips or trims empty levels, and the
+//     wire encoding canonically omits them.
+//  2. The has-work bitset has bit pe set iff size[pe] > 0, and the
+//     can-split bitset iff size[pe] >= 2 — after SyncBits(pe).  The
+//     exported mutators keep the bits fresh themselves; the unexported
+//     raw operations (used by ArenaSplitter implementations, which may
+//     run on concurrent host shards over arbitrary PE pairs) deliberately
+//     do not touch the shared bitset words, and their callers re-sync
+//     sequentially afterwards.
+//
+// An Arena is not safe for concurrent use except as the engine shards it:
+// concurrent mutators must touch disjoint PEs, and flag maintenance for
+// PEs that may share a bitset word with another shard's PEs must be
+// deferred to a sequential reduction (see simd.Context.TransferAll).
+type Arena[S any] struct {
+	p     int
+	bufs  [][]S
+	head  []int
+	size  []int
+	lvls  [][]int
+	lvlLo []int
+	depth []int
+	work  scan.Bits // bit pe: size[pe] > 0
+	split scan.Bits // bit pe: size[pe] >= 2
+}
+
+// NewArena returns an arena of p empty stacks.  Per-PE buffers are
+// allocated lazily on first push, so idle PEs of a large machine cost a
+// few words each.
+func NewArena[S any](p int) *Arena[S] {
+	return &Arena[S]{
+		p:     p,
+		bufs:  make([][]S, p),
+		head:  make([]int, p),
+		size:  make([]int, p),
+		lvls:  make([][]int, p),
+		lvlLo: make([]int, p),
+		depth: make([]int, p),
+		work:  scan.NewBits(p),
+		split: scan.NewBits(p),
+	}
+}
+
+// P returns the number of PEs.
+func (a *Arena[S]) P() int { return a.p }
+
+// Size returns the number of live nodes on PE pe's stack.
+func (a *Arena[S]) Size(pe int) int { return a.size[pe] }
+
+// Empty reports that PE pe has no work.
+func (a *Arena[S]) Empty(pe int) bool { return a.size[pe] == 0 }
+
+// Splittable reports that PE pe's stack can be divided into two non-empty
+// parts (the paper's "busy").
+func (a *Arena[S]) Splittable(pe int) bool { return a.size[pe] >= 2 }
+
+// Depth returns the number of live levels on PE pe's stack.
+func (a *Arena[S]) Depth(pe int) int { return a.depth[pe] }
+
+// WorkBits exposes the has-work bitset (bit pe: PE pe has nodes).  It is
+// the arena's own storage: callers must treat it as read-only and as
+// valid only at quiescent points (after the pending SyncBits calls).
+func (a *Arena[S]) WorkBits() scan.Bits { return a.work }
+
+// SplitBits exposes the can-split bitset (bit pe: PE pe holds at least
+// two nodes).  Same ownership rules as WorkBits.
+func (a *Arena[S]) SplitBits() scan.Bits { return a.split }
+
+// NoWork reports that every PE is empty — the run-loop termination
+// reduction, one word compare per 64 PEs.
+func (a *Arena[S]) NoWork() bool { return a.work.None() }
+
+// AnySplittable reports that some PE could donate.
+func (a *Arena[S]) AnySplittable() bool { return a.split.Any() }
+
+// SyncBits recomputes PE pe's has-work and can-split bits from its size.
+// The exported mutators call it themselves; callers of the raw splitter
+// path (ArenaSplitter) call it once per touched PE, sequentially, after
+// any parallel region.
+//
+//lint:hotpath
+func (a *Arena[S]) SyncBits(pe int) {
+	sz := a.size[pe]
+	a.work.SetTo(pe, sz > 0)
+	a.split.SetTo(pe, sz >= 2)
+}
+
+// minArenaCap is the initial per-PE buffer capacity on first growth.
+const minArenaCap = 16
+
+// ensureTail makes room for n more nodes at PE pe's tail and returns the
+// buffer and the index to write the first new node at.  It prefers
+// sliding the live window back to the front of the existing buffer
+// (reclaiming the space bottom-node removals vacated) over growing.
+func (a *Arena[S]) ensureTail(pe, n int) ([]S, int) {
+	buf := a.bufs[pe]
+	head, sz := a.head[pe], a.size[pe]
+	if head+sz+n <= len(buf) {
+		return buf, head + sz
+	}
+	if sz+n <= len(buf) {
+		// Slide the live window to the front; zero the vacated tail so the
+		// garbage collector can reclaim the nodes.
+		copy(buf, buf[head:head+sz])
+		var zero S
+		for i := sz; i < head+sz; i++ {
+			buf[i] = zero
+		}
+		a.head[pe] = 0
+		return buf, sz
+	}
+	nc := 2 * len(buf)
+	if nc < sz+n {
+		nc = sz + n
+	}
+	if nc < minArenaCap {
+		nc = minArenaCap
+	}
+	//lint:allow hotalloc per-PE buffer doubles to the live stack size, then stops growing
+	nb := make([]S, nc)
+	copy(nb, buf[head:head+sz])
+	a.bufs[pe] = nb
+	a.head[pe] = 0
+	return nb, sz
+}
+
+// pushLevelLen appends one level length to PE pe's level table.
+func (a *Arena[S]) pushLevelLen(pe, n int) {
+	lv := a.lvls[pe]
+	lo, d := a.lvlLo[pe], a.depth[pe]
+	switch {
+	case lo+d < len(lv):
+		lv[lo+d] = n
+	case d < len(lv):
+		// Slide the live window to the front of the table.
+		copy(lv, lv[lo:lo+d])
+		a.lvlLo[pe] = 0
+		lv[d] = n
+	default:
+		nc := 2 * len(lv)
+		if nc < d+1 {
+			nc = d + 1
+		}
+		if nc < minArenaCap {
+			nc = minArenaCap
+		}
+		//lint:allow hotalloc per-PE level table doubles to the live depth, then stops growing
+		nl := make([]int, nc)
+		copy(nl, lv[lo:lo+d])
+		a.lvls[pe] = nl
+		a.lvlLo[pe] = 0
+		nl[d] = n
+	}
+	a.depth[pe] = d + 1
+}
+
+// pushLevelRaw copies alts onto PE pe as a deeper level without touching
+// the bitsets.  Empty slices are ignored.
+func (a *Arena[S]) pushLevelRaw(pe int, alts []S) {
+	n := len(alts)
+	if n == 0 {
+		return
+	}
+	buf, tail := a.ensureTail(pe, n)
+	copy(buf[tail:tail+n], alts)
+	a.pushLevelLen(pe, n)
+	a.size[pe] += n
+}
+
+// PushLevel copies the untried alternatives of a newly expanded node onto
+// PE pe as a deeper level; the caller keeps ownership of alts.  It is the
+// expansion fast path: a contiguous tail copy plus one level-table write.
+//
+//lint:hotpath
+func (a *Arena[S]) PushLevel(pe int, alts []S) {
+	a.pushLevelRaw(pe, alts)
+	a.SyncBits(pe)
+}
+
+// pushOneRaw pushes a single alternative as a deeper level without
+// touching the bitsets.
+func (a *Arena[S]) pushOneRaw(pe int, node S) {
+	buf, tail := a.ensureTail(pe, 1)
+	buf[tail] = node
+	a.pushLevelLen(pe, 1)
+	a.size[pe]++
+}
+
+// PushOne pushes a single alternative as a deeper level — the receiver
+// side of a single-node donation.
+//
+//lint:hotpath
+func (a *Arena[S]) PushOne(pe int, node S) {
+	a.pushOneRaw(pe, node)
+	a.SyncBits(pe)
+}
+
+// popRaw removes and returns the deepest alternative without touching the
+// bitsets.
+func (a *Arena[S]) popRaw(pe int) (S, bool) {
+	var zero S
+	sz := a.size[pe]
+	if sz == 0 {
+		return zero, false
+	}
+	buf := a.bufs[pe]
+	tail := a.head[pe] + sz - 1
+	node := buf[tail]
+	buf[tail] = zero // release the reference for the garbage collector
+	a.size[pe] = sz - 1
+	lo, d := a.lvlLo[pe], a.depth[pe]
+	lv := a.lvls[pe]
+	lv[lo+d-1]--
+	if lv[lo+d-1] == 0 {
+		// Only the decremented top level can have emptied (invariant 1).
+		a.depth[pe] = d - 1
+		if d == 1 {
+			a.lvlLo[pe], a.head[pe] = 0, 0
+		}
+	}
+	return node, true
+}
+
+// Pop removes and returns the next node in depth-first order: the last
+// untried alternative of the deepest level.  It reports false when PE pe
+// is empty.
+//
+//lint:hotpath
+func (a *Arena[S]) Pop(pe int) (S, bool) {
+	node, ok := a.popRaw(pe)
+	if ok {
+		a.SyncBits(pe)
+	}
+	return node, ok
+}
+
+// removeBottomRaw removes and returns the first alternative of the bottom
+// level — the node closest to the root — without touching the bitsets.
+// Because empty levels are dropped as they form, this is O(1): advance
+// the head offset and shrink the bottom level.
+func (a *Arena[S]) removeBottomRaw(pe int) (S, bool) {
+	var zero S
+	sz := a.size[pe]
+	if sz == 0 {
+		return zero, false
+	}
+	head := a.head[pe]
+	buf := a.bufs[pe]
+	node := buf[head]
+	buf[head] = zero
+	a.head[pe] = head + 1
+	a.size[pe] = sz - 1
+	lo := a.lvlLo[pe]
+	lv := a.lvls[pe]
+	lv[lo]--
+	if lv[lo] == 0 {
+		a.lvlLo[pe] = lo + 1
+		a.depth[pe]--
+		if a.depth[pe] == 0 {
+			a.lvlLo[pe], a.head[pe] = 0, 0
+		}
+	}
+	return node, true
+}
+
+// RemoveBottom removes and returns the node closest to the root, which in
+// an unstructured tree roots the largest expected untried subtree.
+//
+//lint:hotpath
+func (a *Arena[S]) RemoveBottom(pe int) (S, bool) {
+	node, ok := a.removeBottomRaw(pe)
+	if ok {
+		a.SyncBits(pe)
+	}
+	return node, ok
+}
+
+// clearRaw empties PE pe in place without touching the bitsets, zeroing
+// the live node window for the garbage collector.
+func (a *Arena[S]) clearRaw(pe int) {
+	var zero S
+	buf := a.bufs[pe]
+	head, sz := a.head[pe], a.size[pe]
+	for i := head; i < head+sz; i++ {
+		buf[i] = zero
+	}
+	a.head[pe], a.size[pe] = 0, 0
+	a.lvlLo[pe], a.depth[pe] = 0, 0
+}
+
+// Clear empties PE pe, keeping its buffers for reuse.
+func (a *Arena[S]) Clear(pe int) {
+	a.clearRaw(pe)
+	a.SyncBits(pe)
+}
+
+// ForEachLevel calls f on every live level of PE pe in bottom-to-top
+// order.  The slices are the arena's own storage and must not be mutated
+// or retained; serialisers use this to preserve level structure without
+// copying.
+func (a *Arena[S]) ForEachLevel(pe int, f func(level []S)) {
+	buf := a.bufs[pe]
+	off := a.head[pe]
+	lo, d := a.lvlLo[pe], a.depth[pe]
+	for _, n := range a.lvls[pe][lo : lo+d] {
+		f(buf[off : off+n : off+n])
+		off += n
+	}
+}
+
+// MaterializeStack returns PE pe's stack as a freshly allocated Stack,
+// level structure preserved.  Snapshots and donations use it to cross the
+// arena boundary into the Stack-based serialisation surface; it allocates
+// by design — hot transfers move nodes within the arena via SplitArena.
+func (a *Arena[S]) MaterializeStack(pe int) *Stack[S] {
+	//lint:allow hotalloc materialisation allocates by design; hot transfers use SplitArena
+	s := &Stack[S]{}
+	buf := a.bufs[pe]
+	off := a.head[pe]
+	lo, d := a.lvlLo[pe], a.depth[pe]
+	for _, n := range a.lvls[pe][lo : lo+d] {
+		s.PushLevelCopy(buf[off : off+n])
+		off += n
+	}
+	return s
+}
+
+// InstallFromStack replaces PE pe's contents with a copy of s, skipping
+// any empty interior levels (which the arena never represents — they are
+// invisible to the search order and to the wire encoding).  The caller
+// keeps ownership of s.
+func (a *Arena[S]) InstallFromStack(pe int, s *Stack[S]) {
+	a.clearRaw(pe)
+	if s != nil {
+		for _, lv := range s.levels {
+			a.pushLevelRaw(pe, lv)
+		}
+	}
+	a.SyncBits(pe)
+}
+
+// AppendFromStack copies s's levels above PE pe's current top, the
+// receiver install of a cross-machine donation — identical in effect to
+// Stack.AppendCopy.  The caller keeps ownership of s.
+//
+//lint:hotpath
+func (a *Arena[S]) AppendFromStack(pe int, s *Stack[S]) {
+	for _, lv := range s.levels {
+		a.pushLevelRaw(pe, lv)
+	}
+	a.SyncBits(pe)
+}
+
+// ArenaSplitter is implemented by splitters that can move work between
+// two PEs of an arena directly — as range copies within flat storage —
+// instead of materialising Stack values.  The donated contents are
+// identical to SplitInto's.  Implementations run on the raw operations
+// and do not update the arena bitsets: the engine re-syncs the two
+// touched PEs sequentially after each transfer (or after the parallel
+// transfer region), because concurrent transfers of different PE pairs
+// may share bitset words.
+type ArenaSplitter[S any] interface {
+	Splitter[S]
+	// SplitArena splits PE from's work and appends the donated part above
+	// PE to's top, returning the number of nodes moved.
+	SplitArena(a *Arena[S], from, to int) int
+}
+
+// SplitArena implements ArenaSplitter: the bottom node moves from donor
+// to receiver in two O(1) steps (head-offset removal, single-node push).
+//
+//lint:hotpath
+func (BottomNode[S]) SplitArena(a *Arena[S], from, to int) int {
+	node, ok := a.removeBottomRaw(from)
+	if !ok {
+		return 0
+	}
+	a.pushOneRaw(to, node)
+	return 1
+}
+
+// SplitArena implements ArenaSplitter: the first half of every donor
+// level is appended to the receiver as contiguous range copies, and the
+// kept halves are compacted toward the front of the donor's window in a
+// single forward pass.
+//
+//lint:hotpath
+func (HalfStack[S]) SplitArena(a *Arena[S], from, to int) int {
+	if from == to {
+		return 0
+	}
+	buf := a.bufs[from]
+	head := a.head[from]
+	lo, d := a.lvlLo[from], a.depth[from]
+	lv := a.lvls[from][lo : lo+d]
+	moved := 0
+	r, w := head, head
+	for i, n := range lv {
+		k := n / 2
+		if k > 0 {
+			a.pushLevelRaw(to, buf[r:r+k])
+			lv[i] = n - k
+			moved += k
+		}
+		if w != r+k {
+			copy(buf[w:], buf[r+k:r+n])
+		}
+		w += n - k
+		r += n
+	}
+	// Zero the vacated tail for the garbage collector.
+	var zero S
+	for i := w; i < r; i++ {
+		buf[i] = zero
+	}
+	a.size[from] -= moved
+	if moved == 0 {
+		// Every level held a single alternative; fall back to the bottom
+		// node so the split is still non-empty.
+		if node, ok := a.removeBottomRaw(from); ok {
+			a.pushOneRaw(to, node)
+			moved = 1
+		}
+	}
+	return moved
+}
+
+// SplitArena implements ArenaSplitter: the single deepest alternative
+// moves to the receiver.
+//
+//lint:hotpath
+func (TopNode[S]) SplitArena(a *Arena[S], from, to int) int {
+	node, ok := a.popRaw(from)
+	if !ok {
+		return 0
+	}
+	a.pushOneRaw(to, node)
+	return 1
+}

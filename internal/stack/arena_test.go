@@ -1,0 +1,257 @@
+package stack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// flattenPE returns PE pe's nodes bottom-to-top, one slice per level.
+func flattenPE(a *Arena[int], pe int) [][]int {
+	var out [][]int
+	a.ForEachLevel(pe, func(lv []int) {
+		out = append(out, append([]int(nil), lv...))
+	})
+	return out
+}
+
+// stackLevels returns s's levels as copies, skipping empties (the arena's
+// canonical form, which the wire encoding shares).
+func stackLevels(s *Stack[int]) [][]int {
+	var out [][]int
+	s.ForEachLevel(func(lv []int) {
+		if len(lv) > 0 {
+			out = append(out, append([]int(nil), lv...))
+		}
+	})
+	return out
+}
+
+// checkBits verifies invariant 2: the has-work and can-split bits mirror
+// the per-PE sizes at every quiescent point.
+func checkBits(t *testing.T, a *Arena[int]) {
+	t.Helper()
+	for pe := 0; pe < a.P(); pe++ {
+		if got, want := a.WorkBits().Get(pe), a.Size(pe) > 0; got != want {
+			t.Fatalf("PE %d: work bit = %v, size = %d", pe, got, a.Size(pe))
+		}
+		if got, want := a.SplitBits().Get(pe), a.Size(pe) >= 2; got != want {
+			t.Fatalf("PE %d: split bit = %v, size = %d", pe, got, a.Size(pe))
+		}
+	}
+}
+
+// checkLevelInvariant verifies invariant 1: every live level holds at
+// least one node, and the level lengths sum to the size.
+func checkLevelInvariant(t *testing.T, a *Arena[int], pe int) {
+	t.Helper()
+	total := 0
+	a.ForEachLevel(pe, func(lv []int) {
+		if len(lv) == 0 {
+			t.Fatalf("PE %d: empty live level", pe)
+		}
+		total += len(lv)
+	})
+	if total != a.Size(pe) {
+		t.Fatalf("PE %d: levels sum to %d, size is %d", pe, total, a.Size(pe))
+	}
+}
+
+// TestArenaMatchesStack drives an arena PE and a Stack through the same
+// random operation sequence and checks they stay observationally
+// identical: same size, depth, pop results, bottom removals, and the same
+// canonical level structure.
+func TestArenaMatchesStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := NewArena[int](4)
+		s := New[int]()
+		next := 0
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(4) {
+			case 0: // push a level
+				width := 1 + rng.Intn(5)
+				lv := make([]int, width)
+				for i := range lv {
+					lv[i] = next
+					next++
+				}
+				a.PushLevel(1, lv)
+				s.PushLevelCopy(lv)
+			case 1: // pop
+				av, aok := a.Pop(1)
+				sv, sok := s.Pop()
+				if av != sv || aok != sok {
+					t.Fatalf("Pop: arena %d,%v stack %d,%v", av, aok, sv, sok)
+				}
+			case 2: // remove bottom
+				av, aok := a.RemoveBottom(1)
+				sv, sok := s.removeBottom()
+				if av != sv || aok != sok {
+					t.Fatalf("RemoveBottom: arena %d,%v stack %d,%v", av, aok, sv, sok)
+				}
+			case 3: // push one
+				a.PushOne(1, next)
+				s.PushOne(next)
+				next++
+			}
+			if a.Size(1) != s.Size() {
+				t.Fatalf("size: arena %d, stack %d", a.Size(1), s.Size())
+			}
+			if a.Empty(1) != s.Empty() || a.Splittable(1) != s.Splittable() {
+				t.Fatalf("flags diverge at size %d", s.Size())
+			}
+			checkLevelInvariant(t, a, 1)
+			checkBits(t, a)
+			if got, want := flattenPE(a, 1), stackLevels(s); !reflect.DeepEqual(got, want) {
+				t.Fatalf("levels diverge:\narena %v\nstack %v", got, want)
+			}
+		}
+	}
+}
+
+// TestArenaSplittersMatchSplitInto checks that every ArenaSplitter moves
+// exactly the nodes its SplitInto form would: same donated levels in the
+// same order, same donor remainder.
+func TestArenaSplittersMatchSplitInto(t *testing.T) {
+	splitters := []ArenaSplitter[int]{BottomNode[int]{}, HalfStack[int]{}, TopNode[int]{}}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		for _, sp := range splitters {
+			src := buildRandom(rng)
+			if !src.Splittable() {
+				continue
+			}
+			a := NewArena[int](2)
+			a.InstallFromStack(0, src)
+			// Give the receiver pre-existing work half the time, so the
+			// append-above-top path is exercised too.
+			var pre *Stack[int]
+			if rng.Intn(2) == 0 {
+				pre = New(9000, 9001)
+				a.InstallFromStack(1, pre)
+			}
+			moved := sp.SplitArena(a, 0, 1)
+			a.SyncBits(0)
+			a.SyncBits(1)
+
+			dst := New[int]()
+			sp.(IntoSplitter[int]).SplitInto(src, dst)
+			if moved != dst.Size() {
+				t.Fatalf("%s: arena moved %d, SplitInto moved %d", sp.Name(), moved, dst.Size())
+			}
+			want := stackLevels(src)
+			if got := flattenPE(a, 0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: donor remainder diverges:\narena %v\nstack %v", sp.Name(), got, want)
+			}
+			wantRecv := stackLevels(dst)
+			if pre != nil {
+				wantRecv = append(stackLevels(pre), wantRecv...)
+			}
+			if got := flattenPE(a, 1); !reflect.DeepEqual(got, wantRecv) {
+				t.Fatalf("%s: receiver diverges:\narena %v\nstack %v", sp.Name(), got, wantRecv)
+			}
+			checkLevelInvariant(t, a, 0)
+			checkLevelInvariant(t, a, 1)
+			checkBits(t, a)
+		}
+	}
+}
+
+// TestArenaInstallMaterializeRoundTrip checks Install → Materialize is the
+// identity on canonical level structure, and that neither direction
+// aliases storage across the arena boundary.
+func TestArenaInstallMaterializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		s := buildRandom(rng)
+		want := stackLevels(s)
+		a := NewArena[int](1)
+		a.InstallFromStack(0, s)
+		// The install copies: mutating the source afterwards must not be
+		// visible in the arena.
+		if v, ok := s.Pop(); ok {
+			_ = v
+		}
+		if got := flattenPE(a, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("arena aliases the installed stack:\n%v\n%v", got, want)
+		}
+		m := a.MaterializeStack(0)
+		if got := stackLevels(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip diverges:\n%v\n%v", got, want)
+		}
+		// Materialisation copies too: draining the arena must not disturb
+		// the materialised stack.
+		a.Clear(0)
+		if got := stackLevels(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("materialised stack aliases the arena:\n%v\n%v", got, want)
+		}
+	}
+}
+
+// TestArenaNilInstallClears checks the nil-install contract InstallStack
+// relies on to empty shard PEs.
+func TestArenaNilInstallClears(t *testing.T) {
+	a := NewArena[int](1)
+	a.PushLevel(0, []int{1, 2, 3})
+	a.InstallFromStack(0, nil)
+	if !a.Empty(0) || a.Depth(0) != 0 || a.WorkBits().Get(0) {
+		t.Fatalf("nil install left size=%d depth=%d", a.Size(0), a.Depth(0))
+	}
+}
+
+// TestArenaSteadyStateZeroAlloc checks the expansion cycle contract: once
+// a PE's buffer and level table have grown to the working-set size,
+// push/pop churn allocates nothing.
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	a := NewArena[int](2)
+	lv := []int{1, 2, 3, 4}
+	// Warm up both PEs past the working-set high-water mark.
+	for i := 0; i < 64; i++ {
+		a.PushLevel(0, lv)
+		a.PushLevel(1, lv)
+	}
+	a.Clear(0)
+	a.Clear(1)
+	a.PushLevel(0, lv)
+	a.PushLevel(0, lv)
+	sp := HalfStack[int]{}
+	allocs := testing.AllocsPerRun(200, func() {
+		// One expansion step: pop a node, push its successors.
+		a.Pop(0)
+		a.PushLevel(0, lv)
+		// One transfer: split half of PE 0 onto PE 1, then drain PE 1.
+		sp.SplitArena(a, 0, 1)
+		a.SyncBits(0)
+		a.SyncBits(1)
+		for !a.Empty(1) {
+			a.Pop(1)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state cycle allocates %.1f times", allocs)
+	}
+}
+
+// TestArenaBottomRemovalReclaimsSpace checks that the head offset left by
+// bottom-node donations is reclaimed by the window slide rather than by
+// growing the buffer: a donor that cycles forever must reach a fixed
+// buffer size.
+func TestArenaBottomRemovalReclaimsSpace(t *testing.T) {
+	a := NewArena[int](1)
+	lv := []int{1, 2}
+	a.PushLevel(0, lv)
+	a.PushLevel(0, lv)
+	for i := 0; i < 10; i++ {
+		a.RemoveBottom(0)
+		a.PushOne(0, i)
+	}
+	grown := len(a.bufs[0])
+	for i := 0; i < 10000; i++ {
+		a.RemoveBottom(0)
+		a.PushOne(0, i)
+	}
+	if len(a.bufs[0]) != grown {
+		t.Errorf("buffer grew from %d to %d under steady bottom-removal churn", grown, len(a.bufs[0]))
+	}
+}

@@ -103,6 +103,88 @@ func TestPushLevelCopyRecycles(t *testing.T) {
 	}
 }
 
+// TestFreeListCapBoundary exercises the maxFree cap from both sides: a
+// Clear of exactly maxFree levels fills the recycle list to the cap, one
+// more level is dropped rather than retained, and a stack at the cap
+// still reuses — never grows — its list through further churn.
+func TestFreeListCapBoundary(t *testing.T) {
+	s := New[int]()
+	for l := 0; l < maxFree; l++ {
+		s.PushLevelCopy([]int{l})
+	}
+	s.Clear()
+	if len(s.free) != maxFree {
+		t.Fatalf("free list holds %d slabs after clearing %d levels, want %d", len(s.free), maxFree, maxFree)
+	}
+	// One level beyond the cap: the extra slab must be dropped, not kept.
+	for l := 0; l < maxFree+1; l++ {
+		s.PushLevelCopy([]int{l})
+	}
+	s.Clear()
+	if len(s.free) != maxFree {
+		t.Fatalf("free list grew past the cap: %d slabs", len(s.free))
+	}
+	// At the cap, push/pop churn must neither allocate nor grow the list.
+	allocs := testing.AllocsPerRun(100, func() {
+		s.PushLevelCopy([]int{1})
+		s.Pop()
+	})
+	if allocs > 0 {
+		t.Errorf("churn at the free-list cap allocates %.1f times", allocs)
+	}
+	if len(s.free) > maxFree {
+		t.Errorf("churn at the cap grew the free list to %d", len(s.free))
+	}
+}
+
+// TestFreeListSurvivesArenaMigration pins the free-list contract across
+// the arena boundary: installing a stack into an arena and materialising
+// it back must leave the original's recycle list intact (installs copy,
+// they do not steal slabs), and the materialised copy must own fresh
+// storage rather than aliasing the arena's buffers.
+func TestFreeListSurvivesArenaMigration(t *testing.T) {
+	s := New[int]()
+	s.PushLevelCopy([]int{1, 2, 3})
+	s.PushLevelCopy([]int{4, 5})
+	// Build up a recycle list by draining one level.
+	s.Pop()
+	s.Pop()
+	freeBefore := len(s.free)
+	if freeBefore == 0 {
+		t.Fatal("test setup: expected a recycled slab")
+	}
+
+	a := NewArena[int](1)
+	a.InstallFromStack(0, s)
+	if len(s.free) != freeBefore {
+		t.Errorf("install changed the source free list: %d -> %d", freeBefore, len(s.free))
+	}
+	// The source still reuses its recycled slabs after migration.
+	allocs := testing.AllocsPerRun(100, func() {
+		s.PushLevelCopy([]int{7})
+		s.Pop()
+	})
+	if allocs > 0 {
+		t.Errorf("source stack allocates %.1f times per cycle after migration", allocs)
+	}
+
+	// A materialised stack owns its storage: popping it must not disturb
+	// the arena, and its slabs recycle into its own free list only.
+	m := a.MaterializeStack(0)
+	sizeBefore := a.Size(0)
+	for {
+		if _, ok := m.Pop(); !ok {
+			break
+		}
+	}
+	if a.Size(0) != sizeBefore {
+		t.Errorf("draining the materialised copy changed the arena: %d -> %d", sizeBefore, a.Size(0))
+	}
+	if len(m.free) > maxFree {
+		t.Errorf("materialised stack leaked %d slabs past the cap", len(m.free))
+	}
+}
+
 // TestRecycledLevelsDropStaleValues ensures reused arrays never leak old
 // node values back into the stack.
 func TestRecycledLevelsDropStaleValues(t *testing.T) {

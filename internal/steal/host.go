@@ -118,10 +118,10 @@ func (h *host[S]) Flags() (busy, idle []bool) {
 	n := h.hi - h.lo
 	busy = make([]bool, n)
 	idle = make([]bool, n)
+	a := h.m.Arena()
 	for i := 0; i < n; i++ {
-		s := h.m.StackAt(h.lo + i)
-		busy[i] = s.Splittable()
-		idle[i] = s.Empty()
+		busy[i] = a.Splittable(h.lo + i)
+		idle[i] = a.Empty(h.lo + i)
 	}
 	return busy, idle
 }
@@ -179,8 +179,9 @@ func (h *host[S]) Absorb(frame []byte) (int, error) {
 
 func (h *host[S]) Export() ([][]byte, []byte, error) {
 	stacks := make([][]byte, h.hi-h.lo)
+	a := h.m.Arena()
 	for i := range stacks {
-		stacks[i] = wire.EncodeStack(h.codec, h.m.StackAt(h.lo+i))
+		stacks[i] = wire.EncodeArena(h.codec, a, h.lo+i)
 	}
 	var domain []byte
 	if st, ok := h.d.(search.Stateful); ok {

@@ -92,6 +92,27 @@ func AppendStack[S any](buf []byte, c Codec[S], s *stack.Stack[S]) []byte {
 	return buf
 }
 
+// EncodeArena frames one PE's stack out of a structure-of-arrays arena
+// with the exact EncodeStack framing; the bytes are identical to encoding
+// the materialised Stack, without materialising it.
+func EncodeArena[S any](c Codec[S], a *stack.Arena[S], pe int) []byte {
+	return AppendArena(nil, c, a, pe)
+}
+
+// AppendArena appends the EncodeStack framing of arena PE pe to buf and
+// returns the extended buffer.  An arena never holds empty levels, so the
+// level count is its live depth.
+func AppendArena[S any](buf []byte, c Codec[S], a *stack.Arena[S], pe int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(a.Depth(pe)))
+	a.ForEachLevel(pe, func(lv []S) {
+		buf = binary.AppendUvarint(buf, uint64(len(lv)))
+		for _, n := range lv {
+			buf = c.AppendNode(buf, n)
+		}
+	})
+	return buf
+}
+
 // DecodeStack parses a stack encoded by EncodeStack.  Counts are
 // validated against the remaining message length before any allocation,
 // so a corrupt or hostile message cannot trigger huge allocations.
