@@ -40,6 +40,14 @@ type Result struct {
 	TotalW      int64 `json:"total_w"`
 	Cycles      int   `json:"cycles"`
 	LBPhases    int   `json:"lb_phases"`
+	// Spill traffic of one op under the scenario's MemBudget (zero for
+	// unbounded scenarios).  Eviction and fault counts are part of the
+	// deterministic schedule — a drift is a correctness bug like a W
+	// drift; the byte volumes price the residency manager's disk I/O.
+	SpillEvictions         int64 `json:"spill_evictions,omitempty"`
+	SpillFaults            int64 `json:"spill_faults,omitempty"`
+	SpillBytesWrittenPerOp int64 `json:"spill_bytes_written_per_op,omitempty"`
+	SpillBytesReadPerOp    int64 `json:"spill_bytes_read_per_op,omitempty"`
 	// SpeedupW8OverW1 is the wall-clock ratio of this scenario at
 	// Workers=1 over the same configuration rerun at Workers=8 — about
 	// 1.0 on single-CPU hosts, where the shards serialise.  Scenarios
@@ -78,7 +86,7 @@ func run() error {
 	flag.Parse()
 
 	base := Baseline{
-		Schema:    2,
+		Schema:    3,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -189,7 +197,7 @@ func iterations(name string, short bool) int {
 // testing.B.ReportAllocs uses (mallocs and total bytes are monotonic
 // counters).
 func measure(sc bench.Scenario, iters int) (Result, error) {
-	stats, err := sc.Run() // warm-up: page in the code path, size the caches
+	stats, sst, err := sc.RunSpill() // warm-up: page in the code path, size the caches
 	if err != nil {
 		return Result{}, err
 	}
@@ -198,7 +206,7 @@ func measure(sc bench.Scenario, iters int) (Result, error) {
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
 	for i := 0; i < iters; i++ {
-		if stats, err = sc.Run(); err != nil {
+		if stats, sst, err = sc.RunSpill(); err != nil {
 			return Result{}, err
 		}
 	}
@@ -213,6 +221,13 @@ func measure(sc bench.Scenario, iters int) (Result, error) {
 		TotalW:      stats.W,
 		Cycles:      stats.Cycles,
 		LBPhases:    stats.LBPhases,
+		// The counters are per run, not cumulative: RunSpill builds a
+		// fresh manager each op, so the last iteration's numbers are the
+		// per-op numbers.
+		SpillEvictions:         sst.Evictions,
+		SpillFaults:            sst.Faults,
+		SpillBytesWrittenPerOp: sst.BytesWritten,
+		SpillBytesReadPerOp:    sst.BytesRead,
 	}, nil
 }
 
@@ -243,6 +258,14 @@ func gate(cur Baseline, path string, tolerance float64, gateTime bool) error {
 		if got.TotalW != want.TotalW || got.Cycles != want.Cycles || got.LBPhases != want.LBPhases {
 			fails = append(fails, fmt.Sprintf("%s: schedule drifted: W=%d cycles=%d phases=%d, baseline W=%d cycles=%d phases=%d",
 				want.Name, got.TotalW, got.Cycles, got.LBPhases, want.TotalW, want.Cycles, want.LBPhases))
+			continue
+		}
+		// Spill traffic under a fixed budget is as deterministic as the
+		// schedule: the eviction sweep and fault barrier run at fixed
+		// points of a fixed schedule.
+		if got.SpillEvictions != want.SpillEvictions || got.SpillFaults != want.SpillFaults {
+			fails = append(fails, fmt.Sprintf("%s: spill traffic drifted: evictions=%d faults=%d, baseline evictions=%d faults=%d",
+				want.Name, got.SpillEvictions, got.SpillFaults, want.SpillEvictions, want.SpillFaults))
 			continue
 		}
 		if limit := float64(want.AllocsPerOp) * (1 + tolerance); float64(got.AllocsPerOp) > limit && got.AllocsPerOp > want.AllocsPerOp+64 {

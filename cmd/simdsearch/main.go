@@ -36,6 +36,7 @@ import (
 	"simdtree/internal/queens"
 	"simdtree/internal/search"
 	"simdtree/internal/simd"
+	"simdtree/internal/spill"
 	"simdtree/internal/synthetic"
 	"simdtree/internal/topology"
 	"simdtree/internal/trace"
@@ -87,9 +88,10 @@ func run() error {
 		showTr   = flag.Bool("trace", false, "print the per-cycle active-processor trace")
 		progress = flag.Int("progress", 0, "print a liveness line to stderr every N cycles (0 = off)")
 
-		engine = flag.String("engine", "simd", "execution model: simd (the paper's lock-step machine) or mimd (work stealing: scheme GRR, ARR or RP)")
-		ida    = flag.Bool("ida", false, "puzzle: run complete parallel IDA* (all iterations on the machine) instead of only the final bounded iteration")
-		lc     = flag.Bool("lc", false, "puzzle: use the Manhattan+linear-conflict heuristic (smaller W, costlier bound)")
+		engine    = flag.String("engine", "simd", "execution model: simd (the paper's lock-step machine) or mimd (work stealing: scheme GRR, ARR or RP)")
+		memBudget = flag.Int64("mem-budget", 0, "memory budget in bytes for simulated stack storage (0 = unbounded); cold stack levels spill to a temp directory and fault back on demand, with identical results")
+		ida       = flag.Bool("ida", false, "puzzle: run complete parallel IDA* (all iterations on the machine) instead of only the final bounded iteration")
+		lc        = flag.Bool("lc", false, "puzzle: use the Manhattan+linear-conflict heuristic (smaller W, costlier bound)")
 
 		cpuProfile = flag.String("pprof", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
@@ -123,6 +125,15 @@ exit codes:
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+
+	if *memBudget > 0 {
+		if *engine != "simd" {
+			return fmt.Errorf("-mem-budget requires -engine simd (the %s engine has no spillable stack arena)", *engine)
+		}
+		if *ida {
+			return fmt.Errorf("-mem-budget is not supported with -ida (the iteration driver builds its machines internally)")
+		}
 	}
 
 	cfg := ckptConfig{write: *ckptPath, every: *ckptEvery, resume: *resumePath, topo: *topoName}
@@ -168,7 +179,7 @@ exit codes:
 	if err != nil {
 		return err
 	}
-	opts := simd.Options{P: *p, Workers: *workers, Topology: net, StopAtFirstGoal: *stop}
+	opts := simd.Options{P: *p, Workers: *workers, Topology: net, StopAtFirstGoal: *stop, MemBudget: *memBudget}
 	opts.Costs = simd.CM2Costs()
 	opts.Costs.LBScale = *lbScale
 	var tr *trace.Trace
@@ -273,6 +284,27 @@ func runScheme[S any](ctx context.Context, d search.Domain[S], codec wire.Codec[
 		m, err := simd.NewMachine[S](d, sch, opts)
 		if err != nil {
 			return metrics.Stats{}, err
+		}
+		if opts.MemBudget > 0 {
+			dir, err := os.MkdirTemp("", "simdspill-*")
+			if err != nil {
+				return metrics.Stats{}, fmt.Errorf("spill dir: %w", err)
+			}
+			defer os.RemoveAll(dir) //lint:allow errdrop temp segments, wiped by the OS eventually anyway
+			mgr, err := spill.NewManager[S](codec, spill.Config{
+				Dir:       dir,
+				MemBudget: opts.MemBudget,
+				NodeBytes: wire.NodeSize(codec, d.Root()),
+			})
+			if err != nil {
+				return metrics.Stats{}, err
+			}
+			m.SetSpiller(mgr)
+			defer func() {
+				st := mgr.Stats()
+				fmt.Fprintf(os.Stderr, "simdsearch: spill: %d evictions, %d faults, %d bytes written, %d read, peak resident %d nodes\n",
+					st.Evictions, st.Faults, st.BytesWritten, st.BytesRead, st.PeakResident)
+			}()
 		}
 		if cfg.resume != "" {
 			meta, snap, err := checkpoint.ReadFile[S](cfg.resume, codec)

@@ -60,6 +60,8 @@ func run() error {
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for running jobs")
 		spool       = flag.String("spool", "", "directory for crash-recovery job checkpoints (empty = disabled); on startup interrupted jobs found there are resumed")
 		ckptEvery   = flag.Int("checkpoint-every", 1000, "cycles between spooled checkpoints of a running job (needs -spool)")
+		memBudget   = flag.Int64("mem-budget", 0, "default per-job memory budget in bytes for simulated stack storage (0 = unbounded); budgeted jobs spill cold stack levels to disk with identical results")
+		memLimit    = flag.Int64("mem-limit", 0, "refuse specs whose predicted peak resident memory exceeds this many bytes unless they set mem_budget (0 = no check)")
 		enablePprof = flag.Bool("pprof", false, "serve the net/http/pprof profiling endpoints under /debug/pprof/ (exposes internals; enable only on trusted networks)")
 
 		fair          = flag.Bool("fair", true, "per-tenant deficit-round-robin scheduling (X-Tenant header); false restores the global FIFO")
@@ -93,6 +95,7 @@ func run() error {
 		DrainTimeout:    *drain,
 		Scheduler:       sched,
 		ProgressEvery:   *progressEvery,
+		MemBudget:       *memBudget,
 	})
 	if err != nil {
 		return err
@@ -101,6 +104,7 @@ func run() error {
 		MaxBatch:       *maxBatch,
 		TenantQuota:    *tenantQuota,
 		HeartbeatEvery: *heartbeat,
+		MemLimit:       *memLimit,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -24,12 +24,15 @@ package simdtree
 
 import (
 	"context"
+	"os"
 
 	"simdtree/internal/metrics"
 	"simdtree/internal/puzzle"
 	"simdtree/internal/search"
 	"simdtree/internal/simd"
+	"simdtree/internal/spill"
 	"simdtree/internal/synthetic"
+	"simdtree/internal/wire"
 )
 
 // Stats re-exports the Section 3.1 run statistics.
@@ -47,12 +50,47 @@ func Schemes() []string { return simd.Table1Labels(0.85) }
 // cancellation never changes the schedule of the cycles that completed: a
 // cancelled run returns the partial Stats of that prefix with
 // Stats.Cancelled set, plus the context's cause as the error.
+//
+// A positive Options.MemBudget needs a node codec to spill with; use the
+// codec-aware Search* helpers (which wire one automatically) or build the
+// machine and a spill.Manager directly.
 func RunContext[S any](ctx context.Context, d search.Domain[S], label string, opts Options) (Stats, error) {
 	sch, err := simd.ParseScheme[S](label)
 	if err != nil {
 		return Stats{}, err
 	}
 	return simd.RunContext[S](ctx, d, sch, opts)
+}
+
+// runSpillable is RunContext for the codec-aware helpers: a positive
+// Options.MemBudget gets a temp-directory residency manager, and by the
+// determinism contract the stats are identical to an unbounded run's.
+func runSpillable[S any](ctx context.Context, d search.Domain[S], codec wire.Codec[S], label string, opts Options) (Stats, error) {
+	sch, err := simd.ParseScheme[S](label)
+	if err != nil {
+		return Stats{}, err
+	}
+	m, err := simd.NewMachine[S](d, sch, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if opts.MemBudget > 0 {
+		dir, err := os.MkdirTemp("", "simdspill-*")
+		if err != nil {
+			return Stats{}, err
+		}
+		defer os.RemoveAll(dir) //lint:allow errdrop temp segments only
+		mgr, err := spill.NewManager[S](codec, spill.Config{
+			Dir:       dir,
+			MemBudget: opts.MemBudget,
+			NodeBytes: wire.NodeSize(codec, d.Root()),
+		})
+		if err != nil {
+			return Stats{}, err
+		}
+		m.SetSpiller(mgr)
+	}
+	return m.RunContext(ctx)
 }
 
 // Run simulates scheme `label` searching domain d on a SIMD machine.
@@ -96,7 +134,7 @@ func SearchPuzzleResumeContext(ctx context.Context, seed uint64, steps int, labe
 func SearchPuzzleContext(ctx context.Context, seed uint64, steps int, label string, opts Options) (Stats, int64, error) {
 	dom := puzzle.NewDomain(puzzle.Scramble(seed, steps))
 	bound, w := search.FinalIterationBound(dom)
-	stats, err := RunContext[puzzle.Node](ctx, search.NewBounded(dom, bound), label, opts)
+	stats, err := runSpillable[puzzle.Node](ctx, search.NewBounded(dom, bound), wire.PuzzleCodec{}, label, opts)
 	return stats, w, err
 }
 
@@ -112,7 +150,7 @@ func SearchPuzzle(seed uint64, steps int, label string, opts Options) (Stats, in
 // exactly w nodes under scheme `label`.  Cancellation follows the
 // RunContext contract.
 func SearchSyntheticContext(ctx context.Context, w int64, seed uint64, label string, opts Options) (Stats, error) {
-	return RunContext[synthetic.Node](ctx, synthetic.New(w, seed), label, opts)
+	return runSpillable[synthetic.Node](ctx, synthetic.New(w, seed), wire.SyntheticCodec{}, label, opts)
 }
 
 // SearchSynthetic is SearchSyntheticContext with a background context.

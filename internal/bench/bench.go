@@ -12,17 +12,22 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"simdtree/internal/metrics"
 	"simdtree/internal/simd"
+	"simdtree/internal/spill"
 	"simdtree/internal/synthetic"
+	"simdtree/internal/wire"
 )
 
 // Scenario is one pinned benchmark configuration: a synthetic-tree search
 // under a fixed scheme and machine size.  Every field participates in the
 // deterministic schedule, so two runs of the same Scenario expand the same
-// nodes in the same cycles.
+// nodes in the same cycles.  MemBudget does NOT change the schedule — that
+// is the residency manager's contract — only the eviction/fault traffic.
 type Scenario struct {
 	Name    string `json:"name"`
 	Scheme  string `json:"scheme"`
@@ -30,16 +35,58 @@ type Scenario struct {
 	Workers int    `json:"workers"`
 	W       int64  `json:"w"`
 	Seed    uint64 `json:"seed"`
+	// MemBudget bounds resident stack bytes; 0 runs unbounded.  Budgeted
+	// scenarios spill cold stack levels to a private temp directory.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 }
 
 // Run executes the scenario once and returns its Section 3.1 statistics.
 func (sc Scenario) Run() (metrics.Stats, error) {
+	stats, _, err := sc.RunSpill()
+	return stats, err
+}
+
+// RunSpill executes the scenario once and also returns the residency
+// manager's counters (zero for unbounded scenarios).
+func (sc Scenario) RunSpill() (metrics.Stats, spill.Stats, error) {
 	sch, err := simd.ParseScheme[synthetic.Node](sc.Scheme)
 	if err != nil {
-		return metrics.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
+		return metrics.Stats{}, spill.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
 	}
-	return simd.Run[synthetic.Node](synthetic.New(sc.W, sc.Seed), sch,
-		simd.Options{P: sc.P, Workers: sc.Workers})
+	tree := synthetic.New(sc.W, sc.Seed)
+	opts := simd.Options{P: sc.P, Workers: sc.Workers, MemBudget: sc.MemBudget}
+	m, err := simd.NewMachine[synthetic.Node](tree, sch, opts)
+	if err != nil {
+		return metrics.Stats{}, spill.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
+	}
+	var mgr *spill.Manager[synthetic.Node]
+	if sc.MemBudget > 0 {
+		dir, err := os.MkdirTemp("", "simdbench-spill-*")
+		if err != nil {
+			return metrics.Stats{}, spill.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
+		}
+		defer os.RemoveAll(dir) //lint:allow errdrop temp segments; best-effort cleanup
+		codec := wire.SyntheticCodec{}
+		mgr, err = spill.NewManager[synthetic.Node](codec, spill.Config{
+			Dir:       dir,
+			MemBudget: sc.MemBudget,
+			NodeBytes: wire.NodeSize[synthetic.Node](codec, tree.Root()),
+		})
+		if err != nil {
+			return metrics.Stats{}, spill.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
+		}
+		m.SetSpiller(mgr)
+	}
+	//lint:allow ctxflow benchmark scenarios are never cancelled mid-measurement
+	stats, err := m.RunContext(context.Background())
+	if err != nil {
+		return metrics.Stats{}, spill.Stats{}, fmt.Errorf("bench %s: %w", sc.Name, err)
+	}
+	var sst spill.Stats
+	if mgr != nil {
+		sst = mgr.Stats()
+	}
+	return stats, sst, nil
 }
 
 // Scenario names shared between bench_test.go, cmd/simdbench and the CI
@@ -51,6 +98,8 @@ const (
 	LBPhase        = "lb-phase"
 	Table5W1       = "table5-p1024-w1"
 	Table5W8       = "table5-p1024-w8"
+	SpillTight     = "spill-tight"
+	SpillUnbounded = "spill-unbounded"
 )
 
 // Scenarios returns the pinned suite.
@@ -63,12 +112,20 @@ const (
 //     synthetic tree large enough that the machine saturates) at one and
 //     at eight host workers; the ratio of their wall-clock times is the
 //     Workers speedup simdbench reports.
+//   - spill-{tight,unbounded}: the same deep synthetic run with and
+//     without a memory budget.  The tight budget (three 11-byte nodes per
+//     PE) forces thousands of evictions and faults, so the pair prices
+//     the residency manager: the schedule columns must be identical
+//     between the two, and the delta in ns/op and spill bytes/op is the
+//     cost of running memory-bounded.
 func Scenarios() []Scenario {
 	return []Scenario{
 		{Name: ExpansionCycle, Scheme: "GP-S0.00", P: 256, Workers: 1, W: 10_000, Seed: 11},
 		{Name: LBPhase, Scheme: "GP-S1.00", P: 256, Workers: 1, W: 10_000, Seed: 11},
 		{Name: Table5W1, Scheme: "GP-S0.85", P: 1024, Workers: 1, W: 400_000, Seed: 3},
 		{Name: Table5W8, Scheme: "GP-S0.85", P: 1024, Workers: 8, W: 400_000, Seed: 3},
+		{Name: SpillTight, Scheme: "GP-DK", P: 256, Workers: 1, W: 30_000, Seed: 7, MemBudget: 8448},
+		{Name: SpillUnbounded, Scheme: "GP-DK", P: 256, Workers: 1, W: 30_000, Seed: 7},
 	}
 }
 

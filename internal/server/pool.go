@@ -10,6 +10,7 @@ import (
 
 	"simdtree/internal/metrics"
 	"simdtree/internal/simd"
+	"simdtree/internal/spill"
 	"simdtree/internal/trace"
 )
 
@@ -150,6 +151,13 @@ func (s *Server) runEnv(j *job) RunEnv {
 		env.Checkpointed = func(cycle int) {
 			j.events.append(JobEvent{Type: EventCheckpoint, Cycle: cycle})
 		}
+		env.SpillDir = s.spool.spillDir(j.key)
+	}
+	env.SpillStats = func(st spill.Stats) {
+		s.ctr.spillEvictions.Add(st.Evictions)
+		s.ctr.spillFaults.Add(st.Faults)
+		s.ctr.spillBytesWritten.Add(st.BytesWritten)
+		s.ctr.spillBytesRead.Add(st.BytesRead)
 	}
 	if j.resume != nil {
 		env.Resume = j.resume

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"simdtree/internal/checkpoint"
 	"simdtree/internal/metrics"
@@ -10,6 +11,7 @@ import (
 	"simdtree/internal/queens"
 	"simdtree/internal/search"
 	"simdtree/internal/simd"
+	"simdtree/internal/spill"
 	"simdtree/internal/synthetic"
 	"simdtree/internal/topology"
 	"simdtree/internal/wire"
@@ -44,6 +46,14 @@ type RunEnv struct {
 	// Checkpointed reports the cycle of each successfully persisted
 	// periodic checkpoint, after Write returned nil.
 	Checkpointed func(cycle int)
+	// SpillDir names the directory for the job's spill segments when the
+	// run is memory-bounded; "" makes the runner use a private temp
+	// directory.  Either way the directory is cleared when the run ends —
+	// segments are a cache, the checkpoint spool is the source of truth.
+	SpillDir string
+	// SpillStats, when non-nil, receives the residency manager's final
+	// counters after a memory-bounded run ends.
+	SpillStats func(spill.Stats)
 }
 
 // Runner executes one canonical job spec on the simulated machine.  Extra
@@ -109,6 +119,30 @@ func runMachine[S any](ctx context.Context, d search.Domain[S], codec wire.Codec
 	m, err := simd.NewMachine[S](d, sch, opts)
 	if err != nil {
 		return metrics.Stats{}, err
+	}
+	if opts.MemBudget > 0 {
+		dir := env.SpillDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "simdspill-*")
+			if err != nil {
+				return metrics.Stats{}, fmt.Errorf("spill dir: %w", err)
+			}
+		}
+		// Segments are a residency cache, not state: the spool checkpoint
+		// alone resumes the run, so the directory goes when the run does.
+		defer os.RemoveAll(dir) //lint:allow errdrop leftover segments are wiped again at the next NewManager
+		mgr, err := spill.NewManager[S](codec, spill.Config{
+			Dir:       dir,
+			MemBudget: opts.MemBudget,
+			NodeBytes: wire.NodeSize(codec, d.Root()),
+		})
+		if err != nil {
+			return metrics.Stats{}, err
+		}
+		m.SetSpiller(mgr)
+		if env.SpillStats != nil {
+			defer func() { env.SpillStats(mgr.Stats()) }()
+		}
 	}
 	if env.Resume != nil {
 		_, snap, err := checkpoint.Decode[S](codec, env.Resume)
@@ -197,6 +231,12 @@ func (s *Server) buildOptions(spec JobSpec) (simd.Options, error) {
 		Workers:         s.cfg.SimWorkers,
 		MaxCycles:       spec.BudgetCycles,
 		StopAtFirstGoal: spec.StopAtFirstGoal,
+		MemBudget:       spec.MemBudget,
+	}
+	if opts.MemBudget == 0 {
+		// The operator default is safe to apply below the cache key:
+		// results are identical with any budget.
+		opts.MemBudget = s.cfg.MemBudget
 	}
 	opts.Costs = simd.CM2Costs()
 	net, err := topology.ByName(spec.Topology)

@@ -67,6 +67,12 @@ type Config struct {
 	// ProgressEvery is the cycle cadence of per-job progress events (the
 	// SSE feed); default 250.  Negative disables progress events.
 	ProgressEvery int
+	// MemBudget is the default per-job memory budget in bytes for the
+	// simulated machine's stack storage, applied when a spec leaves
+	// mem_budget unset; 0 runs unbounded.  Budgeted runs spill cold stack
+	// levels to disk and produce results identical to unbounded ones, so
+	// the default sits safely below the cache key.
+	MemBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -594,6 +600,10 @@ type metricsResponse struct {
 	WorkerUtilization   float64                  `json:"worker_utilization"`
 	CheckpointsWritten  int64                    `json:"checkpoints_written_total"`
 	JobsResumed         int64                    `json:"jobs_resumed_total"`
+	SpillEvictions      int64                    `json:"spill_evictions_total"`
+	SpillFaults         int64                    `json:"spill_faults_total"`
+	SpillBytesWritten   int64                    `json:"spill_bytes_written_total"`
+	SpillBytesRead      int64                    `json:"spill_bytes_read_total"`
 	CheckpointsExported int64                    `json:"checkpoints_exported_total"`
 	JobsImported        int64                    `json:"jobs_imported_total"`
 	JobsDonated         int64                    `json:"jobs_donated_total"`
@@ -628,6 +638,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		WorkerUtilization:   float64(busy) / float64(s.cfg.Workers),
 		CheckpointsWritten:  s.ctr.checkpointsWritten.Load(),
 		JobsResumed:         s.ctr.jobsResumed.Load(),
+		SpillEvictions:      s.ctr.spillEvictions.Load(),
+		SpillFaults:         s.ctr.spillFaults.Load(),
+		SpillBytesWritten:   s.ctr.spillBytesWritten.Load(),
+		SpillBytesRead:      s.ctr.spillBytesRead.Load(),
 		CheckpointsExported: s.ctr.checkpointsExported.Load(),
 		JobsImported:        s.ctr.jobsImported.Load(),
 		JobsDonated:         s.ctr.jobsDonated.Load(),

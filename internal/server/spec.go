@@ -49,6 +49,14 @@ type JobSpec struct {
 	// that exhausts its budget finishes with StatusExhausted and partial
 	// stats.
 	BudgetCycles int `json:"budget_cycles,omitempty"`
+	// MemBudget bounds the bytes of stack storage each simulated machine
+	// keeps resident; cold stack levels spill to disk and fault back on
+	// demand (DESIGN.md §17).  0 selects the server default (unbounded
+	// unless the operator set one).  By the determinism contract the
+	// budget never changes the result — it participates in the cache key
+	// only because the spec encoding does, and omitempty keeps budgetless
+	// specs on their historical keys.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 	// TimeoutMS bounds the job's wall-clock execution; 0 selects the
 	// server default.  It is deliberately excluded from the cache key: a
 	// completed result does not depend on how long it was allowed to take.
@@ -133,6 +141,9 @@ func Canonicalize(spec JobSpec, domains map[string]bool) (JobSpec, error) {
 	}
 	if c.BudgetCycles < 0 {
 		return JobSpec{}, fmt.Errorf("budget_cycles must be non-negative, got %d", c.BudgetCycles)
+	}
+	if c.MemBudget < 0 {
+		return JobSpec{}, fmt.Errorf("mem_budget must be non-negative, got %d", c.MemBudget)
 	}
 	if c.TimeoutMS < 0 {
 		return JobSpec{}, fmt.Errorf("timeout_ms must be non-negative, got %d", c.TimeoutMS)

@@ -50,6 +50,14 @@ func (sp *spool) path(key string) string {
 	return filepath.Join(sp.dir, key+spoolExt)
 }
 
+// spillDir names the job's spill-segment directory, kept next to its
+// checkpoint so a memory-bounded job's disk footprint lives in one place.
+// The directory holds cache only — rescan ignores it, and the runner
+// clears it when the run ends.
+func (sp *spool) spillDir(key string) string {
+	return filepath.Join(sp.dir, key+".spill")
+}
+
 // write atomically replaces the job's spool file: temp file in the same
 // directory, sync, rename.  A crash mid-write leaves the previous
 // checkpoint intact; a torn rename is caught by the format's CRC at

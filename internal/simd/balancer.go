@@ -43,6 +43,15 @@ type Context[S any] struct {
 	moved        []int
 	curPairs     []scan.Pair
 	taskTransfer func(w int)
+
+	// faultDonor, when non-nil (memory-bounded run), makes a donor PE
+	// fully resident before its stack is split: bottom-node donation
+	// reads the true bottom of the stack, which may be evicted.  It is
+	// called sequentially — directly by transferNodes outside parallel
+	// regions, and as a pre-pass over every donor before TransferAll's
+	// parallel region (inside the region it short-circuits on the
+	// donor's zero ghost count without touching shared state).
+	faultDonor func(pe int)
 }
 
 // reset prepares the context for a new load-balancing phase.  The donors
@@ -141,6 +150,9 @@ func (c *Context[S]) transferNodes(from, to int) int {
 	if !a.Splittable(from) {
 		return 0
 	}
+	if c.faultDonor != nil {
+		c.faultDonor(from)
+	}
 	if as, ok := c.Splitter.(stack.ArenaSplitter[S]); ok {
 		return as.SplitArena(a, from, to)
 	}
@@ -200,6 +212,14 @@ func (c *Context[S]) TransferAll(pairs []scan.Pair) int {
 			}
 		}
 		return done
+	}
+	if c.faultDonor != nil {
+		// Restore every donor sequentially before the parallel region, so
+		// the in-region faultDonor calls reduce to a read of the donor's
+		// own ghost counter and no segment I/O races.
+		for _, p := range pairs {
+			c.faultDonor(p.From)
+		}
 	}
 	if cap(c.moved) < len(pairs) {
 		//lint:allow hotalloc per-pair move counts grow once to the pair count

@@ -69,8 +69,14 @@ func (m *Machine[S]) Arena() *stack.Arena[S] { return m.arena }
 // StackAt returns a copy of PE pe's stack, materialised from the arena —
 // the Stack-typed inspection surface.  Mutating the copy never affects
 // the machine; callers that need the live flags or bytes without the copy
-// use Arena.
-func (m *Machine[S]) StackAt(pe int) *stack.Stack[S] { return m.arena.MaterializeStack(pe) }
+// use Arena.  On a memory-bounded machine the PE is made fully resident
+// first; a fault error is latched and surfaced at the next cycle boundary.
+func (m *Machine[S]) StackAt(pe int) *stack.Stack[S] {
+	if err := m.faultFull(pe); err != nil && m.spillErr == nil {
+		m.spillErr = err
+	}
+	return m.arena.MaterializeStack(pe)
+}
 
 // InstallStack replaces PE pe's contents with a copy of s (nil clears the
 // PE).  It is the shard-construction primitive: a driven shard machine is
@@ -92,6 +98,9 @@ func (m *Machine[S]) InstallStack(pe int, s *stack.Stack[S]) error {
 func (m *Machine[S]) TransferLocal(from, to int) (int, error) {
 	if from < 0 || from >= m.opts.P || to < 0 || to >= m.opts.P {
 		return 0, fmt.Errorf("simd: transfer %d->%d out of range [0, %d)", from, to, m.opts.P)
+	}
+	if err := m.faultFull(from); err != nil {
+		return 0, err
 	}
 	n := m.lbCtx.transferNodes(from, to)
 	m.arena.SyncBits(from)
@@ -124,6 +133,9 @@ func (m *Machine[S]) Donate(id uint64, from, to int) (Donation[S], error) {
 	d := Donation[S]{ID: id, From: from, To: to, Stack: stack.New[S]()}
 	if !m.arena.Splittable(from) {
 		return d, nil
+	}
+	if err := m.faultFull(from); err != nil {
+		return Donation[S]{}, err
 	}
 	// Materialise the donor, run the exact splitter a local transfer would,
 	// and reinstall the remainder: the donated bytes are identical to the

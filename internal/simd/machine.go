@@ -85,6 +85,16 @@ type Options struct {
 	// well-defined prefix of the schedule).  0 disables periodic
 	// checkpoints; the sink can still be driven manually via Snapshot.
 	CheckpointEvery int
+	// MemBudget caps the resident stack memory, in bytes: when positive,
+	// the spill manager registered with Machine.SetSpiller evicts the
+	// coldest bottom-of-stack levels to disk at cycle boundaries and
+	// faults them back on demand.  The schedule, stats, traces and
+	// checkpoints are byte-identical with any budget, including none —
+	// residency is invisible to the search order.  A positive budget with
+	// no registered spiller is an error at run time; codec-aware entry
+	// points (the facade search helpers, the server, the CLIs) wire a
+	// manager automatically.
+	MemBudget int64
 }
 
 // ProgressInfo is the snapshot handed to Options.Progress.
@@ -148,6 +158,13 @@ type Machine[S any] struct {
 	// ckpt is the sink registered with OnCheckpoint, driven every
 	// Options.CheckpointEvery cycles.
 	ckpt func(*Snapshot[S]) error
+
+	// spiller is the residency manager registered with SetSpiller; nil
+	// runs unbounded.  spillErr latches the first fault error raised from
+	// inside a balancing phase (whose transfer paths cannot return one);
+	// the run loop surfaces it at the next boundary.
+	spiller  Spiller[S]
+	spillErr error
 
 	// Search-phase accumulators, reset after every load-balancing phase.
 	phaseCycles  int
@@ -354,6 +371,9 @@ func (m *Machine[S]) RunContext(ctx context.Context) (metrics.Stats, error) {
 		ctx = context.Background()
 	}
 	m.ctx = ctx
+	if m.opts.MemBudget > 0 && m.spiller == nil {
+		return m.stats, errors.New("simd: Options.MemBudget set but no spill manager registered (SetSpiller)")
+	}
 	// A machine resumed after cancellation starts a fresh verdict.
 	m.stats.Cancelled = false
 
@@ -402,6 +422,9 @@ func (m *Machine[S]) run() error {
 		if err := m.maybeCheckpoint(); err != nil {
 			return err
 		}
+		if err := m.spillBarrier(); err != nil {
+			return err
+		}
 		active := m.cycle()
 		st := m.triggerState(active)
 		m.recordSample(st)
@@ -410,6 +433,9 @@ func (m *Machine[S]) run() error {
 		}
 		if m.sch.Trigger.ShouldBalance(st) && active < m.stats.P && m.anyDonor() {
 			m.balance(false)
+		}
+		if err := m.spillSweep(); err != nil {
+			return err
 		}
 	}
 }
@@ -434,6 +460,9 @@ func (m *Machine[S]) initialDistribution(threshold float64) error {
 		if err := m.maybeCheckpoint(); err != nil {
 			return err
 		}
+		if err := m.spillBarrier(); err != nil {
+			return err
+		}
 		active := m.cycle()
 		m.stats.InitCycles++
 		m.recordSample(m.triggerState(active))
@@ -445,6 +474,9 @@ func (m *Machine[S]) initialDistribution(threshold float64) error {
 		}
 		if active < m.stats.P && m.anyDonor() {
 			m.balance(true)
+		}
+		if err := m.spillSweep(); err != nil {
+			return err
 		}
 	}
 }

@@ -95,6 +95,12 @@ func (m *Machine[S]) Snapshot() (*Snapshot[S], error) {
 	if err != nil {
 		return nil, err
 	}
+	// A memory-bounded machine reabsorbs its evicted levels first, so the
+	// snapshot is self-contained and byte-identical to an unbounded run's;
+	// the next sweep deterministically re-evicts.
+	if err := m.faultAllPEs(); err != nil {
+		return nil, err
+	}
 	m.fillDerivedStats()
 	snap := &Snapshot[S]{
 		Cycle:          m.stats.Cycles,
@@ -164,6 +170,15 @@ func (m *Machine[S]) RestoreSnapshot(snap *Snapshot[S]) error {
 		pre := snap.Trace.Clone()
 		m.opts.Trace.Samples = pre.Samples
 		m.opts.Trace.Events = pre.Events
+	}
+	// The snapshot replaced the machine state wholesale, so any segments
+	// the residency manager still holds describe stacks that no longer
+	// exist; drop them (the next sweep re-evicts deterministically).
+	m.spillErr = nil
+	if m.spiller != nil {
+		if err := m.spiller.Reset(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,359 @@
+// Package spill bounds the resident memory of a lock-step search by
+// evicting the coldest stack levels to disk and restoring them on demand.
+//
+// The paper's schemes assume every PE's whole DFS stack fits in PE
+// memory, which caps the largest search a node can run at RAM.  Related
+// work on space-bounded combinatorial search (Pietracaprina et al.,
+// "Space-Efficient Parallel Algorithms for Combinatorial Search
+// Problems") shows bounded memory can be traded for modest extra work
+// without losing correctness; this package applies the idea to the
+// engine's arena: the bottom-of-stack level windows are cold — only
+// bottom-node donation ever touches them, and in depth-first order they
+// are the last work a PE will reach — so they spill first, as versioned
+// on-disk segment files, and fault back in at cycle boundaries when a
+// pop runs out of resident work or a transfer needs the whole stack.
+//
+// Determinism is the design constraint, not an afterthought.  Every
+// evict/restore decision is a pure function of the global schedule —
+// cycle number, per-PE resident occupancy, and the configured budget —
+// never of timing, map order or allocator behaviour.  Eviction keeps the
+// quantities the schedule observes (total stack sizes, the has-work and
+// can-split bitsets, the trigger ledger) bit-identical, so schedules,
+// traces, checkpoints and steal frames are byte-identical with spill
+// enabled or disabled; internal/spill's equivalence tests enforce this
+// across every Table 1 scheme.
+//
+// Crash-recovery contract: segment files are reconstructible cache
+// state, not durable state.  Checkpoints reabsorb spilled levels before
+// encoding (the machine faults everything in at snapshot boundaries), so
+// a spooled SCKP file is always self-contained; after a crash the job
+// resumes from its checkpoint and NewManager wipes whatever segments the
+// dead run left behind.
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"simdtree/internal/stack"
+	"simdtree/internal/wire"
+)
+
+// DefaultKeepLevels is the number of resident levels an eviction leaves
+// in memory: the top of the stack (popped every cycle) and one level of
+// slack so a pop that drains the top level does not fault immediately.
+const DefaultKeepLevels = 2
+
+// Config configures a Manager.
+type Config struct {
+	// Dir is the segment directory.  It is created if missing, and any
+	// *.sspl files already in it (a crashed run's leftovers) are removed:
+	// segments are cache, the checkpoint spool is the source of truth.
+	Dir string
+	// MemBudget is the resident-node budget in bytes; at most
+	// MemBudget/NodeBytes nodes stay in memory across all PEs.  Zero or
+	// negative disables eviction (the manager still restores anything a
+	// snapshot restore left on disk).
+	MemBudget int64
+	// NodeBytes is the encoded size of one node (wire.NodeSize of the
+	// root), the deterministic per-node accounting unit.  It must be
+	// positive when MemBudget is.
+	NodeBytes int
+	// KeepLevels is the number of resident levels an eviction keeps;
+	// 0 selects DefaultKeepLevels.
+	KeepLevels int
+}
+
+// Stats counts the manager's disk traffic.  They are deliberately kept
+// out of metrics.Stats: the schedule statistics must be byte-identical
+// with spill on or off, so residency activity reports on the side.
+type Stats struct {
+	// Evictions is the number of segments written.
+	Evictions int64
+	// Faults is the number of segments restored.
+	Faults int64
+	// BytesWritten and BytesRead total the segment file traffic.
+	BytesWritten int64
+	BytesRead    int64
+	// SegmentsLive is the number of segment files currently on disk.
+	SegmentsLive int
+	// PeakResident is the largest resident-node total observed at a
+	// sweep boundary.
+	PeakResident int
+}
+
+// segRef is one on-disk segment: the bookkeeping needed to restore it
+// and to verify the restore matches what was evicted.
+type segRef struct {
+	seq    uint64
+	nodes  int
+	levels int
+}
+
+// Manager owns the segment store of one machine: a per-PE LIFO of
+// evicted bottom-level segments, the deterministic eviction policy, and
+// the fault paths the engine calls at cycle boundaries.  It implements
+// simd.Spiller.  A Manager is not safe for concurrent use; the engine
+// calls it only from the sequential sections of the run loop.
+type Manager[S any] struct {
+	codec       wire.Codec[S]
+	dir         string
+	budgetNodes int
+	keep        int
+
+	seq   uint64
+	segs  [][]segRef // per-PE LIFO, newest last
+	live  int
+	stats Stats
+}
+
+// NewManager builds a segment store in cfg.Dir, wiping stale segments
+// from a previous incarnation of the job.
+func NewManager[S any](c wire.Codec[S], cfg Config) (*Manager[S], error) {
+	if c == nil {
+		return nil, errors.New("spill: nil codec")
+	}
+	if cfg.MemBudget > 0 && cfg.NodeBytes <= 0 {
+		return nil, errors.New("spill: a memory budget needs a positive NodeBytes")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("spill: empty segment directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	if err := wipeSegments(cfg.Dir); err != nil {
+		return nil, err
+	}
+	keep := cfg.KeepLevels
+	if keep <= 0 {
+		keep = DefaultKeepLevels
+	}
+	budget := 0
+	if cfg.MemBudget > 0 {
+		budget = int(cfg.MemBudget / int64(cfg.NodeBytes))
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	return &Manager[S]{codec: c, dir: cfg.Dir, budgetNodes: budget, keep: keep}, nil
+}
+
+// wipeSegments removes every *.sspl file under dir — the crash-recovery
+// step: a dead run's segments describe arena state that no longer
+// exists, and the resumed run rebuilds its own.
+func wipeSegments(dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "*.sspl"))
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	for _, name := range names {
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("spill: %w", err)
+		}
+	}
+	return nil
+}
+
+// Dir returns the segment directory.
+func (m *Manager[S]) Dir() string { return m.dir }
+
+// BudgetNodes returns the resident-node budget (0 when eviction is
+// disabled).
+func (m *Manager[S]) BudgetNodes() int { return m.budgetNodes }
+
+// Stats returns the cumulative disk-traffic counters.
+func (m *Manager[S]) Stats() Stats {
+	st := m.stats
+	st.SegmentsLive = m.live
+	return st
+}
+
+// segPath names segment seq of PE pe.  The sequence number is globally
+// unique within the run, so names never collide.
+func (m *Manager[S]) segPath(seq uint64, pe int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("seg-%08d-pe%d.sspl", seq, pe))
+}
+
+// ensure sizes the per-PE bookkeeping to p PEs.
+func (m *Manager[S]) ensure(p int) {
+	if len(m.segs) < p {
+		segs := make([][]segRef, p)
+		copy(segs, m.segs)
+		m.segs = segs
+	}
+}
+
+// Barrier restores enough work for the next expansion cycle: every PE
+// that still has evicted levels but no resident node gets its newest
+// segment faulted back in, so the one pop the cycle performs on it finds
+// the true top of the stack.  It runs at cycle boundaries, before the
+// cycle, and is a no-op (one integer compare) when nothing is spilled.
+//
+// Deliberately not a lint hot-path root: the steady-state fast paths
+// (live == 0, every PE resident) allocate nothing, and the engine's bench
+// gate enforces that; the eviction and fault event paths behind them do
+// disk I/O and allocate by design.
+func (m *Manager[S]) Barrier(a *stack.Arena[S]) error {
+	if m.live == 0 {
+		return nil
+	}
+	for pe := range m.segs {
+		if len(m.segs[pe]) == 0 {
+			continue
+		}
+		if a.Ghost(pe) == 0 {
+			// The PE was cleared or reinstalled since the eviction; its
+			// segments describe state that no longer exists.
+			m.discard(pe)
+			continue
+		}
+		if a.Resident(pe) == 0 {
+			if err := m.restoreNewest(a, pe); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sweep enforces the budget: while the resident-node total exceeds it,
+// the PE with the most resident nodes (ties to the lowest index — a pure
+// function of the schedule) has all but its top KeepLevels levels
+// evicted as one segment.  It runs at cycle boundaries, after expansion
+// and any balancing phase; when every PE is already at its keep floor
+// the arena stays over budget rather than stalling the search.
+//
+// Not a lint hot-path root for the same reason as Barrier: the per-cycle
+// scan is allocation-free, the evictions behind it allocate by design.
+func (m *Manager[S]) Sweep(a *stack.Arena[S]) error {
+	if m.budgetNodes <= 0 {
+		return nil
+	}
+	p := a.P()
+	m.ensure(p)
+	total := 0
+	for pe := 0; pe < p; pe++ {
+		total += a.Resident(pe)
+	}
+	if total > m.stats.PeakResident {
+		m.stats.PeakResident = total
+	}
+	for total > m.budgetNodes {
+		victim, best := -1, 0
+		for pe := 0; pe < p; pe++ {
+			if a.ResidentDepth(pe) > m.keep && a.Resident(pe) > best {
+				victim, best = pe, a.Resident(pe)
+			}
+		}
+		if victim < 0 {
+			return nil
+		}
+		n, err := m.evict(a, victim)
+		if err != nil {
+			return err
+		}
+		total -= n
+	}
+	return nil
+}
+
+// FaultAll restores every evicted segment of PE pe, newest first, so the
+// whole stack is resident — the precondition for bottom removal, stack
+// splits, donation and serialisation.
+func (m *Manager[S]) FaultAll(a *stack.Arena[S], pe int) error {
+	if pe >= len(m.segs) || len(m.segs[pe]) == 0 {
+		return nil
+	}
+	if a.Ghost(pe) == 0 {
+		m.discard(pe)
+		return nil
+	}
+	for len(m.segs[pe]) > 0 {
+		if err := m.restoreNewest(a, pe); err != nil {
+			return err
+		}
+	}
+	if g := a.Ghost(pe); g != 0 {
+		return fmt.Errorf("spill: PE %d still owes %d ghost nodes after full restore: %w", pe, g, ErrCorrupt)
+	}
+	return nil
+}
+
+// Reset discards every segment — the machine's state was replaced
+// wholesale (a snapshot restore), so nothing on disk describes it any
+// more.  File removal is best-effort; a leftover file is wiped by the
+// next NewManager over the same directory.
+func (m *Manager[S]) Reset() error {
+	for pe := range m.segs {
+		m.discard(pe)
+	}
+	return nil
+}
+
+// discard drops PE pe's segments without restoring them.
+func (m *Manager[S]) discard(pe int) {
+	for _, ref := range m.segs[pe] {
+		_ = os.Remove(m.segPath(ref.seq, pe)) //lint:allow errdrop a leftover file is wiped by the next NewManager
+	}
+	m.live -= len(m.segs[pe])
+	m.segs[pe] = m.segs[pe][:0]
+}
+
+// evict writes PE pe's bottom levels (all but the top keep) as one
+// segment file and drops them from the arena.  It returns the number of
+// nodes moved out of memory.
+func (m *Manager[S]) evict(a *stack.Arena[S], pe int) (int, error) {
+	k := a.ResidentDepth(pe) - m.keep
+	m.seq++
+	bp := wire.GetBuf()
+	b := AppendSegment((*bp)[:0], m.codec, a, pe, m.seq, k)
+	err := os.WriteFile(m.segPath(m.seq, pe), b, 0o644)
+	n := len(b)
+	*bp = b
+	wire.PutBuf(bp)
+	if err != nil {
+		return 0, fmt.Errorf("spill: %w", err)
+	}
+	nodes := a.DropBottom(pe, k)
+	m.segs[pe] = append(m.segs[pe], segRef{seq: m.seq, nodes: nodes, levels: k})
+	m.live++
+	m.stats.Evictions++
+	m.stats.BytesWritten += int64(n)
+	return nodes, nil
+}
+
+// restoreNewest faults PE pe's most recent segment back in: the levels
+// directly below the resident window, by LIFO construction.  The decoded
+// contents are verified against the eviction bookkeeping before they
+// touch the arena, and the file is deleted after a successful restore.
+func (m *Manager[S]) restoreNewest(a *stack.Arena[S], pe int) error {
+	refs := m.segs[pe]
+	ref := refs[len(refs)-1]
+	path := m.segPath(ref.seq, pe)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	gotPE, gotSeq, s, err := DecodeSegment(m.codec, b)
+	if err != nil {
+		return fmt.Errorf("spill: segment %s: %w", filepath.Base(path), err)
+	}
+	if gotPE != pe || gotSeq != ref.seq {
+		return fmt.Errorf("spill: segment %s is for PE %d seq %d, expected PE %d seq %d: %w",
+			filepath.Base(path), gotPE, gotSeq, pe, ref.seq, ErrCorrupt)
+	}
+	if s.Size() != ref.nodes || s.Depth() != ref.levels {
+		return fmt.Errorf("spill: segment %s holds %d nodes in %d levels, evicted %d in %d: %w",
+			filepath.Base(path), s.Size(), s.Depth(), ref.nodes, ref.levels, ErrCorrupt)
+	}
+	a.PrependStack(pe, s)
+	m.segs[pe] = refs[:len(refs)-1]
+	m.live--
+	m.stats.Faults++
+	m.stats.BytesRead += int64(len(b))
+	_ = os.Remove(path) //lint:allow errdrop the segment was fully restored; a leftover file is wiped at the next NewManager
+	return nil
+}

@@ -33,16 +33,30 @@ import "simdtree/internal/scan"
 // concurrent mutators must touch disjoint PEs, and flag maintenance for
 // PEs that may share a bitset word with another shard's PEs must be
 // deferred to a sequential reduction (see simd.Context.TransferAll).
+//
+// A memory-bounded run may evict the coldest bottom levels of a PE to
+// stable storage (see internal/spill): the in-memory window then holds
+// only the top of the stack, and the ghost counters record how many nodes
+// and levels sit below it on disk.  Everything the schedule observes —
+// Size, Depth, Empty, Splittable, and the two bitsets — reports the total
+// (resident + ghost), so evicting and restoring is invisible to the
+// search order; the internal size/depth/lvls state and the raw mutators
+// describe the resident window only.  Operations that need the whole
+// stack (RemoveBottom, ForEachLevel, MaterializeStack, the splitters) are
+// only valid on a fully resident PE; the engine faults evicted levels
+// back in before calling them.
 type Arena[S any] struct {
 	p     int
 	bufs  [][]S
 	head  []int
-	size  []int
+	size  []int // resident nodes
 	lvls  [][]int
 	lvlLo []int
-	depth []int
-	work  scan.Bits // bit pe: size[pe] > 0
-	split scan.Bits // bit pe: size[pe] >= 2
+	depth []int     // resident levels
+	ghost []int     // evicted nodes below the resident window
+	ghLvl []int     // evicted levels below the resident window
+	work  scan.Bits // bit pe: total size > 0
+	split scan.Bits // bit pe: total size >= 2
 }
 
 // NewArena returns an arena of p empty stacks.  Per-PE buffers are
@@ -57,6 +71,8 @@ func NewArena[S any](p int) *Arena[S] {
 		lvls:  make([][]int, p),
 		lvlLo: make([]int, p),
 		depth: make([]int, p),
+		ghost: make([]int, p),
+		ghLvl: make([]int, p),
 		work:  scan.NewBits(p),
 		split: scan.NewBits(p),
 	}
@@ -65,18 +81,33 @@ func NewArena[S any](p int) *Arena[S] {
 // P returns the number of PEs.
 func (a *Arena[S]) P() int { return a.p }
 
-// Size returns the number of live nodes on PE pe's stack.
-func (a *Arena[S]) Size(pe int) int { return a.size[pe] }
+// Size returns the number of live nodes on PE pe's stack, including any
+// evicted (ghost) nodes — the quantity the schedule observes.
+func (a *Arena[S]) Size(pe int) int { return a.size[pe] + a.ghost[pe] }
 
-// Empty reports that PE pe has no work.
-func (a *Arena[S]) Empty(pe int) bool { return a.size[pe] == 0 }
+// Empty reports that PE pe has no work at all, resident or evicted.
+func (a *Arena[S]) Empty(pe int) bool { return a.size[pe]+a.ghost[pe] == 0 }
 
 // Splittable reports that PE pe's stack can be divided into two non-empty
-// parts (the paper's "busy").
-func (a *Arena[S]) Splittable(pe int) bool { return a.size[pe] >= 2 }
+// parts (the paper's "busy"), counting evicted nodes.
+func (a *Arena[S]) Splittable(pe int) bool { return a.size[pe]+a.ghost[pe] >= 2 }
 
-// Depth returns the number of live levels on PE pe's stack.
-func (a *Arena[S]) Depth(pe int) int { return a.depth[pe] }
+// Depth returns the number of live levels on PE pe's stack, including
+// evicted ones.
+func (a *Arena[S]) Depth(pe int) int { return a.depth[pe] + a.ghLvl[pe] }
+
+// Resident returns the number of nodes held in memory for PE pe.
+func (a *Arena[S]) Resident(pe int) int { return a.size[pe] }
+
+// ResidentDepth returns the number of in-memory levels of PE pe.
+func (a *Arena[S]) ResidentDepth(pe int) int { return a.depth[pe] }
+
+// Ghost returns the number of evicted nodes sitting on stable storage
+// below PE pe's resident window.
+func (a *Arena[S]) Ghost(pe int) int { return a.ghost[pe] }
+
+// GhostLevels returns the number of evicted levels of PE pe.
+func (a *Arena[S]) GhostLevels(pe int) int { return a.ghLvl[pe] }
 
 // WorkBits exposes the has-work bitset (bit pe: PE pe has nodes).  It is
 // the arena's own storage: callers must treat it as read-only and as
@@ -94,14 +125,15 @@ func (a *Arena[S]) NoWork() bool { return a.work.None() }
 // AnySplittable reports that some PE could donate.
 func (a *Arena[S]) AnySplittable() bool { return a.split.Any() }
 
-// SyncBits recomputes PE pe's has-work and can-split bits from its size.
-// The exported mutators call it themselves; callers of the raw splitter
-// path (ArenaSplitter) call it once per touched PE, sequentially, after
-// any parallel region.
+// SyncBits recomputes PE pe's has-work and can-split bits from its total
+// size (resident plus ghost, so eviction never flips a flag).  The
+// exported mutators call it themselves; callers of the raw splitter path
+// (ArenaSplitter) call it once per touched PE, sequentially, after any
+// parallel region.
 //
 //lint:hotpath
 func (a *Arena[S]) SyncBits(pe int) {
-	sz := a.size[pe]
+	sz := a.size[pe] + a.ghost[pe]
 	a.work.SetTo(pe, sz > 0)
 	a.split.SetTo(pe, sz >= 2)
 }
@@ -256,9 +288,10 @@ func (a *Arena[S]) Pop(pe int) (S, bool) {
 }
 
 // removeBottomRaw removes and returns the first alternative of the bottom
-// level — the node closest to the root — without touching the bitsets.
-// Because empty levels are dropped as they form, this is O(1): advance
-// the head offset and shrink the bottom level.
+// resident level — the node closest to the root, provided the PE is fully
+// resident (no ghost levels below the window) — without touching the
+// bitsets.  Because empty levels are dropped as they form, this is O(1):
+// advance the head offset and shrink the bottom level.
 func (a *Arena[S]) removeBottomRaw(pe int) (S, bool) {
 	var zero S
 	sz := a.size[pe]
@@ -285,7 +318,9 @@ func (a *Arena[S]) removeBottomRaw(pe int) (S, bool) {
 }
 
 // RemoveBottom removes and returns the node closest to the root, which in
-// an unstructured tree roots the largest expected untried subtree.
+// an unstructured tree roots the largest expected untried subtree.  The PE
+// must be fully resident: with levels evicted the true bottom lives on
+// stable storage, and the engine faults it back in first.
 //
 //lint:hotpath
 func (a *Arena[S]) RemoveBottom(pe int) (S, bool) {
@@ -297,7 +332,10 @@ func (a *Arena[S]) RemoveBottom(pe int) (S, bool) {
 }
 
 // clearRaw empties PE pe in place without touching the bitsets, zeroing
-// the live node window for the garbage collector.
+// the live node window for the garbage collector.  Ghost accounting is
+// dropped too — a cleared or reinstalled PE owes nothing to stable
+// storage, and the spill manager discards any segment files it still
+// holds for the PE the next time it looks.
 func (a *Arena[S]) clearRaw(pe int) {
 	var zero S
 	buf := a.bufs[pe]
@@ -307,6 +345,7 @@ func (a *Arena[S]) clearRaw(pe int) {
 	}
 	a.head[pe], a.size[pe] = 0, 0
 	a.lvlLo[pe], a.depth[pe] = 0, 0
+	a.ghost[pe], a.ghLvl[pe] = 0, 0
 }
 
 // Clear empties PE pe, keeping its buffers for reuse.
@@ -315,10 +354,11 @@ func (a *Arena[S]) Clear(pe int) {
 	a.SyncBits(pe)
 }
 
-// ForEachLevel calls f on every live level of PE pe in bottom-to-top
+// ForEachLevel calls f on every resident level of PE pe in bottom-to-top
 // order.  The slices are the arena's own storage and must not be mutated
 // or retained; serialisers use this to preserve level structure without
-// copying.
+// copying.  Callers that need the whole stack ensure the PE is fully
+// resident first (Ghost(pe) == 0).
 func (a *Arena[S]) ForEachLevel(pe int, f func(level []S)) {
 	buf := a.bufs[pe]
 	off := a.head[pe]
@@ -333,6 +373,8 @@ func (a *Arena[S]) ForEachLevel(pe int, f func(level []S)) {
 // level structure preserved.  Snapshots and donations use it to cross the
 // arena boundary into the Stack-based serialisation surface; it allocates
 // by design — hot transfers move nodes within the arena via SplitArena.
+// The PE must be fully resident; the engine faults evicted levels back in
+// before materialising.
 func (a *Arena[S]) MaterializeStack(pe int) *Stack[S] {
 	//lint:allow hotalloc materialisation allocates by design; hot transfers use SplitArena
 	s := &Stack[S]{}
@@ -370,6 +412,137 @@ func (a *Arena[S]) AppendFromStack(pe int, s *Stack[S]) {
 		a.pushLevelRaw(pe, lv)
 	}
 	a.SyncBits(pe)
+}
+
+// ForEachBottomLevel calls f on the bottom k resident levels of PE pe in
+// bottom-to-top order — the eviction serialiser's view of the coldest
+// levels.  The slices are the arena's own storage and must not be mutated
+// or retained.  k must not exceed ResidentDepth(pe).
+//
+//lint:hotpath
+func (a *Arena[S]) ForEachBottomLevel(pe, k int, f func(level []S)) {
+	buf := a.bufs[pe]
+	off := a.head[pe]
+	lo := a.lvlLo[pe]
+	for _, n := range a.lvls[pe][lo : lo+k] {
+		f(buf[off : off+n : off+n])
+		off += n
+	}
+}
+
+// DropBottom discards the bottom k resident levels of PE pe from memory,
+// marking their nodes as ghost: the total Size/Depth the schedule sees is
+// unchanged, the bitsets never flip, and only the resident window
+// shrinks.  The caller (the spill manager) has already serialised the
+// levels to stable storage and must restore them with PrependStack, in
+// LIFO order, before anything touches the stack below the resident
+// window.  It returns the number of nodes dropped.  k must be positive
+// and at most ResidentDepth(pe); dropping every resident level is legal
+// as long as a restore happens before the next pop.
+//
+//lint:hotpath
+func (a *Arena[S]) DropBottom(pe, k int) int {
+	lo := a.lvlLo[pe]
+	nodes := 0
+	for _, n := range a.lvls[pe][lo : lo+k] {
+		nodes += n
+	}
+	var zero S
+	buf := a.bufs[pe]
+	head := a.head[pe]
+	for i := head; i < head+nodes; i++ {
+		buf[i] = zero
+	}
+	a.head[pe] = head + nodes
+	a.size[pe] -= nodes
+	a.lvlLo[pe] = lo + k
+	a.depth[pe] -= k
+	if a.depth[pe] == 0 {
+		a.lvlLo[pe], a.head[pe] = 0, 0
+	}
+	a.ghost[pe] += nodes
+	a.ghLvl[pe] += k
+	return nodes
+}
+
+// PrependStack reattaches s's levels below PE pe's resident window — the
+// restore half of DropBottom, undoing the most recent eviction.  The
+// ghost counters shrink by s's node and level counts; the total
+// Size/Depth and the bitsets are unchanged.  The caller keeps ownership
+// of s.  Restores allocate when the vacated space in front of the window
+// has since been reclaimed; the engine only restores at fault events,
+// which are outside the steady-state zero-allocation contract.
+func (a *Arena[S]) PrependStack(pe int, s *Stack[S]) {
+	n := s.size
+	k := len(s.levels)
+	if n == 0 {
+		return
+	}
+	buf := a.bufs[pe]
+	head, sz := a.head[pe], a.size[pe]
+	switch {
+	case head >= n:
+		// The space the eviction vacated is still in front of the window.
+		head -= n
+	case len(buf) >= n+sz:
+		// Enough total capacity, wrong position: slide the window right
+		// (copy is memmove, overlap-safe) instead of allocating — an
+		// evict/restore thrash cycle must not grow the buffer each fault.
+		copy(buf[n:n+sz], buf[head:head+sz])
+		head = 0
+	default:
+		nc := 2 * len(buf)
+		if nc < n+sz {
+			nc = n + sz
+		}
+		if nc < minArenaCap {
+			nc = minArenaCap
+		}
+		//lint:allow hotalloc restore fault path allocates by design (outside steady state)
+		nb := make([]S, nc)
+		copy(nb[n:], buf[head:head+sz])
+		a.bufs[pe] = nb
+		buf = nb
+		head = 0
+	}
+	off := head
+	for _, lv := range s.levels {
+		off += copy(buf[off:], lv)
+	}
+	a.head[pe] = head
+	a.size[pe] = sz + n
+
+	// Prepend the level lengths below the live level-table window.
+	lv := a.lvls[pe]
+	lo, d := a.lvlLo[pe], a.depth[pe]
+	switch {
+	case lo >= k:
+		lo -= k
+	case len(lv) >= k+d:
+		copy(lv[k:k+d], lv[lo:lo+d])
+		lo = 0
+	default:
+		nc := 2 * len(lv)
+		if nc < k+d {
+			nc = k + d
+		}
+		if nc < minArenaCap {
+			nc = minArenaCap
+		}
+		//lint:allow hotalloc restore fault path allocates by design (outside steady state)
+		nl := make([]int, nc)
+		copy(nl[k:], lv[lo:lo+d])
+		a.lvls[pe] = nl
+		lv = nl
+		lo = 0
+	}
+	for i, l := range s.levels {
+		lv[lo+i] = len(l)
+	}
+	a.lvlLo[pe] = lo
+	a.depth[pe] = d + k
+	a.ghost[pe] -= n
+	a.ghLvl[pe] -= k
 }
 
 // ArenaSplitter is implemented by splitters that can move work between

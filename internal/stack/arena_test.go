@@ -233,6 +233,111 @@ func TestArenaSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// captureBottom copies the bottom k resident levels of PE pe into a Stack,
+// the way the spill manager serialises an eviction.
+func captureBottom(a *Arena[int], pe, k int) *Stack[int] {
+	seg := New[int]()
+	a.ForEachBottomLevel(pe, k, func(lv []int) {
+		seg.PushLevelCopy(lv)
+	})
+	return seg
+}
+
+// TestArenaDropRestoreRoundTrip drives a PE through random interleavings
+// of pushes, pops, evictions (DropBottom) and restores (PrependStack) and
+// checks that (a) the schedule-visible quantities — total size, depth,
+// flags, bits — never see the residency changes, and (b) after restoring
+// everything the level structure equals a reference Stack that ran the
+// same pushes and pops.
+func TestArenaDropRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		a := NewArena[int](2)
+		ref := New[int]()
+		var segs []*Stack[int] // LIFO of evicted segments
+		next := 0
+		for op := 0; op < 150; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // push a level
+				width := 1 + rng.Intn(4)
+				lv := make([]int, width)
+				for i := range lv {
+					lv[i] = next
+					next++
+				}
+				a.PushLevel(1, lv)
+				ref.PushLevelCopy(lv)
+			case 2: // pop (only when the top is resident, as the engine guarantees)
+				if a.Resident(1) == 0 && a.Ghost(1) > 0 {
+					a.PrependStack(1, segs[len(segs)-1])
+					segs = segs[:len(segs)-1]
+				}
+				av, aok := a.Pop(1)
+				sv, sok := ref.Pop()
+				if av != sv || aok != sok {
+					t.Fatalf("Pop: arena %d,%v ref %d,%v", av, aok, sv, sok)
+				}
+			case 3: // evict all but the top 2 resident levels
+				if k := a.ResidentDepth(1) - 2; k > 0 {
+					seg := captureBottom(a, 1, k)
+					if n := a.DropBottom(1, k); n != seg.Size() {
+						t.Fatalf("DropBottom moved %d nodes, captured %d", n, seg.Size())
+					}
+					segs = append(segs, seg)
+				}
+			case 4: // restore the newest segment
+				if len(segs) > 0 {
+					a.PrependStack(1, segs[len(segs)-1])
+					segs = segs[:len(segs)-1]
+				}
+			}
+			if a.Size(1) != ref.Size() || a.Depth(1) != ref.Depth() {
+				t.Fatalf("totals diverge: arena size=%d depth=%d, ref size=%d depth=%d",
+					a.Size(1), a.Depth(1), ref.Size(), ref.Depth())
+			}
+			if a.Empty(1) != ref.Empty() || a.Splittable(1) != ref.Splittable() {
+				t.Fatalf("flags diverge at size %d", ref.Size())
+			}
+			checkBits(t, a)
+			if a.Resident(1)+a.Ghost(1) != a.Size(1) {
+				t.Fatalf("resident %d + ghost %d != total %d", a.Resident(1), a.Ghost(1), a.Size(1))
+			}
+		}
+		// Restore everything and compare the full level structure.
+		for len(segs) > 0 {
+			a.PrependStack(1, segs[len(segs)-1])
+			segs = segs[:len(segs)-1]
+		}
+		if a.Ghost(1) != 0 || a.GhostLevels(1) != 0 {
+			t.Fatalf("ghost accounting left over: %d nodes, %d levels", a.Ghost(1), a.GhostLevels(1))
+		}
+		if got, want := flattenPE(a, 1), stackLevels(ref); !reflect.DeepEqual(got, want) {
+			t.Fatalf("levels diverge after full restore:\narena %v\nref %v", got, want)
+		}
+		checkLevelInvariant(t, a, 1)
+	}
+}
+
+// TestArenaClearDropsGhost checks the clear/reinstall contract: a cleared
+// PE owes nothing to stable storage.
+func TestArenaClearDropsGhost(t *testing.T) {
+	a := NewArena[int](1)
+	for i := 0; i < 6; i++ {
+		a.PushLevel(0, []int{i, i + 100})
+	}
+	a.DropBottom(0, 3)
+	if a.Ghost(0) == 0 {
+		t.Fatal("eviction recorded no ghost nodes")
+	}
+	a.InstallFromStack(0, New(1, 2, 3))
+	if a.Ghost(0) != 0 || a.GhostLevels(0) != 0 {
+		t.Fatalf("reinstall kept ghost accounting: %d nodes, %d levels", a.Ghost(0), a.GhostLevels(0))
+	}
+	if a.Size(0) != 3 {
+		t.Fatalf("reinstalled size = %d, want 3", a.Size(0))
+	}
+}
+
 // TestArenaBottomRemovalReclaimsSpace checks that the head offset left by
 // bottom-node donations is reclaimed by the window slide rather than by
 // growing the buffer: a donor that cycles forever must reach a fixed

@@ -78,6 +78,11 @@ func NewHost[S any](d search.Domain[S], codec wire.Codec[S], schemeLabel string,
 	opts.Workers = 1
 	opts.Trace = nil // the coordinator owns the trace ledger
 	opts.Progress = nil
+	// Spill is node-local: the coordinator's admission already sized the
+	// job, and a shard holds only its [lo, hi) slice, so shard machines
+	// run unbounded (a budget here would also demand a spill dir per
+	// shard for no memory the coordinator hasn't accounted).
+	opts.MemBudget = 0
 	m, err := simd.NewMachine[S](d, sch, opts)
 	if err != nil {
 		return nil, err

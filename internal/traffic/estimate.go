@@ -6,9 +6,13 @@ import (
 	"strings"
 
 	"simdtree/internal/analysis"
+	"simdtree/internal/puzzle"
+	"simdtree/internal/queens"
 	"simdtree/internal/server"
 	"simdtree/internal/simd"
+	"simdtree/internal/synthetic"
 	"simdtree/internal/topology"
+	"simdtree/internal/wire"
 )
 
 // Estimate prices a canonical job spec before anything runs: a predicted
@@ -32,6 +36,13 @@ type Estimate struct {
 	// budget: the job will stop exhausted near Cycles, having expanded
 	// roughly W nodes.
 	BudgetCapped bool
+	// PeakResidentBytes is the predicted peak bytes of stack storage the
+	// job keeps in memory when run unbounded: P stacks of the domain's
+	// modelled depth and level width, at the wire codec's per-node size.
+	// A caller (or the frontend itself, Config.MemLimit) compares it
+	// against a node's -mem-budget to decide whether the job needs a
+	// mem_budget of its own before admission.
+	PeakResidentBytes int64
 }
 
 // estimateAlpha is the splitting-quality assumption feeding the phase
@@ -68,7 +79,51 @@ func ForSpec(spec server.JobSpec) Estimate {
 		est.Cycles = float64(spec.BudgetCycles)
 		est.W = est.Cycles * p * est.Efficiency
 	}
+	est.PeakResidentBytes = predictPeakResidentBytes(spec, est.W)
 	return est
+}
+
+// predictPeakResidentBytes models the job's peak resident stack bytes:
+// every PE holds a DFS stack of the domain's depth, each level carrying
+// the untried sibling alternatives, encoded at the wire codec's per-node
+// size.  Like predictW it is an order-of-magnitude planning signal — the
+// total is clamped by the tree size, since the stacks can never hold more
+// than the generated frontier.
+func predictPeakResidentBytes(spec server.JobSpec, w float64) int64 {
+	depth, width := 20.0, 3.0
+	nodeBytes := wire.NodeSize[puzzle.Node](wire.PuzzleCodec{}, puzzle.Goal())
+	switch spec.Domain {
+	case "synthetic":
+		depth = math.Log2(w + 2)
+		width = 4
+		nodeBytes = wire.NodeSize[synthetic.Node](wire.SyntheticCodec{}, synthetic.Node{Budget: int64(w)})
+	case "queens":
+		n := 8.0
+		if spec.Queens != nil && spec.Queens.N > 0 {
+			n = float64(spec.Queens.N)
+		}
+		depth, width = n, n/2+1
+		nodeBytes = wire.NodeSize[queens.Node](wire.QueensCodec{}, queens.Node{})
+	case "puzzle":
+		depth = 40
+		if spec.Puzzle != nil {
+			switch {
+			case spec.Puzzle.Bound > 0:
+				depth = float64(spec.Puzzle.Bound)
+			case spec.Puzzle.Steps > 0:
+				depth = float64(spec.Puzzle.Steps)
+			}
+		}
+	}
+	p := float64(spec.P)
+	if p < 1 {
+		p = 1
+	}
+	nodes := p * depth * width
+	if limit := 3*w + p; nodes > limit {
+		nodes = limit
+	}
+	return int64(nodes) * int64(nodeBytes)
 }
 
 // CostUnits converts a predicted tree size into DRR cost units: W/scale,

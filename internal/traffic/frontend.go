@@ -27,6 +27,13 @@ type Config struct {
 	// CostScale is the predicted node-expansion count worth one DRR cost
 	// unit for weighted admission.  Default DefaultCostScale.
 	CostScale float64
+	// MemLimit is the node's resident-memory comfort line in bytes.
+	// When positive, a spec that neither sets mem_budget nor fits —
+	// predicted peak resident bytes within the limit — is refused with
+	// 413 and told to resubmit with a mem_budget, under which the run
+	// spills to disk instead of growing without bound.  0 disables the
+	// check.
+	MemLimit int64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +72,7 @@ type trafficCounters struct {
 	batches         atomic.Int64
 	batchJobs       atomic.Int64
 	quotaRejections atomic.Int64
+	memRejections   atomic.Int64 // specs refused for predicted memory over Config.MemLimit
 	sseStreams      atomic.Int64
 	sseResumes      atomic.Int64 // streams opened with a Last-Event-ID
 	estimates       atomic.Int64
@@ -117,6 +125,14 @@ func (f *Frontend) Handler() http.Handler {
 func (f *Frontend) admit(canonical server.JobSpec, key, tenant string) (fl *flight, collapsed bool, rf *server.Refusal) {
 	est := ForSpec(canonical)
 	cost := est.CostUnits(f.cfg.CostScale)
+	if lim := f.cfg.MemLimit; lim > 0 && canonical.MemBudget == 0 && est.PeakResidentBytes > lim {
+		f.ctr.memRejections.Add(1)
+		return nil, false, &server.Refusal{
+			Code: http.StatusRequestEntityTooLarge,
+			Message: fmt.Sprintf("predicted peak resident memory %d bytes exceeds the node limit %d; resubmit with mem_budget set (the run then spills cold stack levels to disk with identical results)",
+				est.PeakResidentBytes, lim),
+		}
+	}
 
 	f.mu.Lock()
 	if fl := f.flights[key]; fl != nil {
@@ -362,6 +378,11 @@ type estimateResponse struct {
 	CostUnits       float64 `json:"cost_units"`
 	Exact           bool    `json:"exact"`
 	BudgetCapped    bool    `json:"budget_capped,omitempty"`
+
+	// PredictedPeakResidentBytes is the modelled peak of resident stack
+	// memory for an unbounded run — the number to weigh against a node's
+	// -mem-budget when deciding whether to set mem_budget on the spec.
+	PredictedPeakResidentBytes int64 `json:"predicted_peak_resident_bytes"`
 }
 
 // handleEstimate implements POST /v1/estimate: price a spec with the
@@ -393,6 +414,8 @@ func (f *Frontend) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		CostUnits:       est.CostUnits(f.cfg.CostScale),
 		Exact:           est.Exact,
 		BudgetCapped:    est.BudgetCapped,
+
+		PredictedPeakResidentBytes: est.PeakResidentBytes,
 	})
 }
 
@@ -411,6 +434,7 @@ func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc["traffic_batches_total"] = f.ctr.batches.Load()
 	doc["traffic_batch_jobs_total"] = f.ctr.batchJobs.Load()
 	doc["traffic_quota_rejections_total"] = f.ctr.quotaRejections.Load()
+	doc["traffic_mem_rejections_total"] = f.ctr.memRejections.Load()
 	doc["traffic_sse_streams_total"] = f.ctr.sseStreams.Load()
 	doc["traffic_sse_resumes_total"] = f.ctr.sseResumes.Load()
 	doc["traffic_estimates_total"] = f.ctr.estimates.Load()
